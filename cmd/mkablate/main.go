@@ -1,0 +1,126 @@
+// Command mkablate runs the ablation study behind DESIGN.md: the reduced
+// Figure 6(a) sweep with one ingredient of Algorithm 1 changed at a time,
+// so the contribution of each design choice is visible side by side:
+//
+//   - paper        — Algorithm 1 as published
+//   - no-alternate — eligible optional jobs all on the primary
+//   - fd<=2        — eligibility threshold raised from FD=1 to FD<=2
+//   - theta=Y      — backups postponed by the promotion interval Yi
+//     instead of the Defs. 2–5 interval θi
+//   - e-pattern    — evenly-distributed static pattern instead of R
+//   - dp-background— the DP baseline replaced by textbook dual-priority
+//     (backups also run before promotion)
+//
+// Usage:
+//
+//	mkablate [-sets 8] [-candidates 2000] [-seed 2020] [-lo 0.2] [-hi 0.8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pattern"
+	"repro/internal/workload"
+)
+
+type variant struct {
+	name string
+	opts core.Options
+	// approaches overrides the compared approaches (nil = ST/DP/selective).
+	approaches []core.Approach
+}
+
+func main() {
+	var (
+		sets       = flag.Int("sets", 8, "schedulable sets per interval")
+		candidates = flag.Int("candidates", 2000, "max candidates per interval")
+		seed       = flag.Uint64("seed", 2020, "master seed")
+		lo         = flag.Float64("lo", 0.2, "lowest utilization bound")
+		hi         = flag.Float64("hi", 0.8, "highest utilization bound")
+		harmonic   = flag.Bool("harmonic", false, "divisor-friendly periods (keeps the theta analysis exact)")
+		scenario   = flag.String("scenario", "none", "fault scenario: none | permanent | permanent+transient")
+		quiet      = flag.Bool("q", false, "suppress progress")
+	)
+	flag.Parse()
+
+	variants := []variant{
+		{name: "paper", opts: core.Options{}},
+		{name: "no-alternate", opts: core.Options{NoAlternation: true}},
+		{name: "fd<=2", opts: core.Options{FDThreshold: 2}},
+		{name: "theta=Y", opts: core.Options{UsePromotionForTheta: true}},
+		{name: "e-pattern", opts: core.Options{Pattern: pattern.EPattern}},
+		{name: "dp-background", opts: core.Options{},
+			approaches: []core.Approach{core.ST, core.DPBackground, core.Selective}},
+	}
+
+	var sc fault.Scenario
+	switch *scenario {
+	case "none", "":
+		sc = fault.NoFault
+	case "permanent":
+		sc = fault.PermanentOnly
+	case "permanent+transient", "both":
+		sc = fault.PermanentAndTransient
+	default:
+		fmt.Fprintf(os.Stderr, "mkablate: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-14s %12s %12s %14s\n", "variant", "dp/st", "selective/st", "max-gain-vs-dp")
+	for _, v := range variants {
+		cfg := repro.DefaultSweepConfig(sc)
+		cfg.Seed = *seed
+		cfg.SetsPerInterval = *sets
+		cfg.MaxCandidates = *candidates
+		cfg.Intervals = workload.Intervals(*lo, *hi, 0.1)
+		cfg.CoreOpts = v.opts
+		if *harmonic {
+			wl := workload.DefaultConfig()
+			wl.HarmonicPeriods = true
+			cfg.Workload = wl
+		}
+		if v.approaches != nil {
+			cfg.Approaches = v.approaches
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s...\n", v.name)
+		}
+		t0 := time.Now()
+		rep, err := repro.Sweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkablate: %s: %v\n", v.name, err)
+			os.Exit(1)
+		}
+		dpApproach := core.DP
+		if v.approaches != nil {
+			dpApproach = core.DPBackground
+		}
+		dpMean, selMean := sweepMeans(rep, dpApproach)
+		gain, at := rep.MaxGain(core.Selective, dpApproach)
+		fmt.Printf("%-14s %12.3f %12.3f %9.1f%% at %v   (%v)\n",
+			v.name, dpMean, selMean, 100*gain, at, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func sweepMeans(rep *repro.Report, dp core.Approach) (dpMean, selMean float64) {
+	n := 0
+	for _, row := range rep.Rows {
+		if len(row.Sets) == 0 {
+			continue
+		}
+		n++
+		dpMean += row.NormMean[dp]
+		selMean += row.NormMean[core.Selective]
+	}
+	if n > 0 {
+		dpMean /= float64(n)
+		selMean /= float64(n)
+	}
+	return dpMean, selMean
+}

@@ -1,0 +1,97 @@
+// Command mkbench regenerates the paper's evaluation (Figure 6): the
+// normalized-energy-vs-(m,k)-utilization series for MKSS-ST, MKSS-DP and
+// MKSS-selective under the three fault scenarios.
+//
+// Usage:
+//
+//	mkbench -fig 6a                  # no faults      (paper Fig. 6a)
+//	mkbench -fig 6b                  # permanent      (paper Fig. 6b)
+//	mkbench -fig 6c                  # perm+transient (paper Fig. 6c)
+//	mkbench -fig all -sets 20 -csv out/   # everything, CSVs for plotting
+//	mkbench -fig 6a -greedy          # include the §III greedy straw-man
+//
+// Reducing -sets and -candidates trades fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "6a | 6b | 6c | all")
+		sets       = flag.Int("sets", 20, "schedulable sets per utilization interval")
+		candidates = flag.Int("candidates", 5000, "max candidates per interval")
+		seed       = flag.Uint64("seed", 2020, "master seed")
+		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
+		withGreedy = flag.Bool("greedy", false, "also run the §III greedy straw-man")
+		loU        = flag.Float64("lo", 0.1, "lowest utilization bound")
+		hiU        = flag.Float64("hi", 1.0, "highest utilization bound")
+		quiet      = flag.Bool("q", false, "suppress per-interval progress")
+	)
+	flag.Parse()
+
+	scenarios := map[string]fault.Scenario{
+		"6a": fault.NoFault,
+		"6b": fault.PermanentOnly,
+		"6c": fault.PermanentAndTransient,
+	}
+	var order []string
+	switch *fig {
+	case "all":
+		order = []string{"6a", "6b", "6c"}
+	case "6a", "6b", "6c":
+		order = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mkbench -fig 6a|6b|6c|all")
+		os.Exit(2)
+	}
+
+	for _, name := range order {
+		sc := scenarios[name]
+		cfg := repro.DefaultSweepConfig(sc)
+		cfg.Seed = *seed
+		cfg.SetsPerInterval = *sets
+		cfg.MaxCandidates = *candidates
+		cfg.Intervals = workload.Intervals(*loU, *hiU, 0.1)
+		if *withGreedy {
+			cfg.Approaches = []core.Approach{core.ST, core.DP, core.Greedy, core.Selective}
+		}
+		if !*quiet {
+			cfg.Progress = os.Stderr
+			fmt.Fprintf(os.Stderr, "--- Figure %s (%s): %d sets/interval, %d max candidates ---\n",
+				name, sc, *sets, *candidates)
+		}
+		t0 := time.Now()
+		rep, err := repro.Sweep(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Table())
+		fmt.Printf("(figure %s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, "fig"+name+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command mksim simulates one task set under one scheduling approach and
+// prints the energy/QoS report (optionally with an ASCII Gantt chart).
+//
+// Usage:
+//
+//	mksim -set tasks.json -approach selective -horizon 100 -gantt
+//	mksim -demo -approach dp        # the paper's §III example set
+//	mksim -set tasks.json -approach selective -scenario permanent -seed 7
+//
+// The JSON schema:
+//
+//	{"tasks": [{"period_ms":5, "deadline_ms":4, "wcet_ms":3, "m":2, "k":4}]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		setPath   = flag.String("set", "", "path to a JSON task-set spec")
+		demo      = flag.Bool("demo", false, "use the paper's §III example set instead of -set")
+		approach  = flag.String("approach", "selective", "st | dp | greedy | selective | dp-background")
+		horizonMS = flag.Float64("horizon", 0, "simulated ms (0 = one (m,k)-hyperperiod, capped at 2000)")
+		scenario  = flag.String("scenario", "none", "fault scenario: none | permanent | permanent+transient")
+		seed      = flag.Uint64("seed", 1, "fault realization seed")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		segments  = flag.Bool("segments", false, "print every execution segment")
+		perTask   = flag.Bool("pertask", false, "print per-task energy/outcome attribution")
+	)
+	flag.Parse()
+	if err := run(*setPath, *demo, *approach, *horizonMS, *scenario, *seed, *gantt || *perTask, *segments, *perTask); err != nil {
+		fmt.Fprintf(os.Stderr, "mksim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(setPath string, demo bool, approach string, horizonMS float64, scenario string, seed uint64, trace, segments, perTask bool) error {
+	var s *repro.Set
+	switch {
+	case demo:
+		s = repro.NewSet(repro.NewTask(5, 4, 3, 2, 4), repro.NewTask(10, 10, 3, 1, 2))
+	case setPath != "":
+		f, err := os.Open(setPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err = repro.LoadSet(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -set FILE or -demo")
+	}
+
+	a, err := repro.ParseApproach(approach)
+	if err != nil {
+		return err
+	}
+	var sc repro.Scenario
+	switch scenario {
+	case "none", "":
+		sc = repro.NoFault
+	case "permanent":
+		sc = repro.PermanentOnly
+	case "permanent+transient", "both":
+		sc = repro.PermanentAndTransient
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	fmt.Printf("task set (total utilization %.3f, (m,k)-utilization %.3f):\n%s\n",
+		s.Utilization(), s.MKUtilization(), s)
+	if !repro.RPatternSchedulable(s) {
+		fmt.Println("warning: set is NOT R-pattern schedulable; (m,k)-deadlines are not guaranteed")
+	}
+
+	res, err := repro.Simulate(s, a, repro.RunConfig{
+		HorizonMS:   horizonMS,
+		Scenario:    sc,
+		Seed:        seed,
+		RecordTrace: trace || segments,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s over %v (%s):\n", res.Policy, res.Horizon, sc)
+	fmt.Printf("  active energy: %.3f   total energy (incl. idle/sleep): %.3f\n",
+		res.ActiveEnergy(), res.TotalEnergy())
+	for p, en := range res.PerProc {
+		name := [...]string{"primary", "spare"}[p]
+		fmt.Printf("  %-7s busy %v, idle %v, asleep %v, dead %v\n",
+			name, en.ActiveTime, en.IdleTime, en.SleepTime, en.DeadTime)
+	}
+	c := res.Counters
+	fmt.Printf("  jobs: %d released, %d mandatory, %d optional selected, %d skipped, %d demotions\n",
+		c.Released, c.MandatoryJobs, c.OptionalSelected, c.OptionalSkipped, c.Demotions)
+	fmt.Printf("  backups: %d created, %d canceled clean, %d canceled partial\n",
+		c.BackupsCreated, c.BackupsCanceledClean, c.BackupsCanceledPartial)
+	fmt.Printf("  outcomes: %d effective, %d misses, %d transient faults\n",
+		c.Effective, c.Misses, c.TransientFaults)
+	if pf := res.PermanentFault; pf != nil {
+		fmt.Printf("  permanent fault: processor %d at %v\n", pf.Proc, pf.At)
+	}
+	fmt.Printf("  (m,k) satisfied: %v\n", res.MKSatisfied())
+	if !res.MKSatisfied() {
+		for i, v := range res.ViolationAt {
+			if v >= 0 {
+				fmt.Printf("    tau%d violates at job %d\n", i+1, v+1)
+			}
+		}
+	}
+	if trace {
+		fmt.Println()
+		fmt.Print(repro.GanttChart(res))
+	}
+	if perTask {
+		fmt.Println()
+		fmt.Print(res.PerTaskTable())
+	}
+	if segments {
+		fmt.Println()
+		fmt.Print(repro.TraceSummary(res))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command mktrace reproduces the paper's worked examples (Figures 1–5)
+// as ASCII Gantt charts with exact energy accounting.
+//
+// Usage:
+//
+//	mktrace -fig 1    # Fig. 1: MKSS-DP on τ1=(5,4,3,2,4), τ2=(10,10,3,1,2)
+//	mktrace -fig 2    # Fig. 2: dynamic patterns (selective) on the same set
+//	mktrace -fig 3    # Fig. 3: greedy on τ1=(5,2.5,2,2,4), τ2=(4,4,2,2,4)
+//	mktrace -fig 4    # Fig. 4: selective on the Fig. 3 set
+//	mktrace -fig 5    # Fig. 5: backup release postponement analysis
+//	mktrace -all      # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (1-5)")
+	all := flag.Bool("all", false, "reproduce every figure")
+	flag.Parse()
+
+	if !*all && (*fig < 1 || *fig > 5) {
+		fmt.Fprintln(os.Stderr, "usage: mktrace -fig N   (N in 1..5), or mktrace -all")
+		os.Exit(2)
+	}
+	figs := []int{*fig}
+	if *all {
+		figs = []int{1, 2, 3, 4, 5}
+	}
+	for _, f := range figs {
+		if err := render(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mktrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func motivationSet() *repro.Set {
+	return repro.NewSet(repro.NewTask(5, 4, 3, 2, 4), repro.NewTask(10, 10, 3, 1, 2))
+}
+
+func selectiveSet() *repro.Set {
+	return repro.NewSet(repro.NewTask(5, 2.5, 2, 2, 4), repro.NewTask(4, 4, 2, 2, 4))
+}
+
+func render(fig int) error {
+	switch fig {
+	case 1:
+		return simulate("Figure 1 — preference-oriented dual-priority (MKSS-DP), paper energy: 15 units in [0,20]",
+			motivationSet(), repro.DP, 20)
+	case 2:
+		return simulate("Figure 2 — dynamic patterns (MKSS-selective), paper energy: 12 units in [0,20]",
+			motivationSet(), repro.Selective, 20)
+	case 3:
+		return simulate("Figure 3 — greedy optional execution, paper energy: 20 units in [0,25]",
+			selectiveSet(), repro.Greedy, 25)
+	case 4:
+		return simulate("Figure 4 — selective optional execution, paper energy: 14 units in [0,25]",
+			selectiveSet(), repro.Selective, 25)
+	case 5:
+		return postponement()
+	}
+	return fmt.Errorf("unknown figure %d", fig)
+}
+
+func simulate(title string, s *repro.Set, a repro.Approach, horizonMS float64) error {
+	fmt.Println(title)
+	fmt.Println(s)
+	res, err := repro.Simulate(s, a, repro.RunConfig{HorizonMS: horizonMS, RecordTrace: true})
+	if err != nil {
+		return err
+	}
+	fmt.Print(repro.GanttChart(res))
+	fmt.Print(repro.TraceSummary(res))
+	fmt.Printf("active energy: %g units   (m,k) satisfied: %v\n",
+		res.ActiveEnergy(), res.MKSatisfied())
+	if problems := repro.VerifyTrace(s, res); len(problems) > 0 {
+		return fmt.Errorf("trace verification failed: %v", problems)
+	}
+	return nil
+}
+
+func postponement() error {
+	fmt.Println("Figure 5 — backup release postponement (Defs. 2–5): τ1=(10,10,3,2,3), τ2=(15,15,8,1,2)")
+	s := repro.NewSet(repro.NewTask(10, 10, 3, 2, 3), repro.NewTask(15, 15, 8, 1, 2))
+	fmt.Println(s)
+	ys := repro.PromotionTimes(s)
+	thetas, err := repro.PostponementIntervals(s)
+	if err != nil {
+		return err
+	}
+	for i := range thetas {
+		fmt.Printf("tau%d: promotion Y=%v, postponement theta=%v (paper: theta1=7ms, theta2=4ms)\n",
+			i+1, ys[i], thetas[i])
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package core implements the paper's scheduling approaches as sim.Policy
+// plug-ins:
+//
+//   - MKSS_ST: static R-pattern, main and backup copies of every mandatory
+//     job run concurrently without procrastination — the evaluation's
+//     energy reference (§V).
+//   - MKSS_DP: static R-pattern with the dual-priority/preference-oriented
+//     procrastination of Haque et al. [7] and Begam et al. [8]: mains
+//     alternate across the two processors, each backup runs on the other
+//     processor postponed by the promotion interval Yi = Di − Ri, and a
+//     completed main cancels its backup (§III, Figure 1).
+//   - Greedy: the §III straw-man — dynamic (m,k) patterns with *all*
+//     optional jobs executed greedily on the primary processor (Figure 3).
+//   - MKSS_selective: the paper's contribution (Algorithm 1) — dynamic
+//     patterns where only optional jobs with flexibility degree 1 are
+//     selected, alternating between the processors, with backups postponed
+//     by the offline release-postponement intervals θi (§IV).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/sim"
+	"repro/internal/timeu"
+)
+
+// Approach enumerates the schemes compared in Figure 6 (plus the §III
+// greedy straw-man used in the motivation and our ablations).
+type Approach int
+
+const (
+	// ST is MKSS_ST, the static reference.
+	ST Approach = iota
+	// DP is MKSS_DP, static pattern + dual-priority procrastination.
+	DP
+	// Greedy is the §III dynamic-pattern straw-man.
+	Greedy
+	// Selective is MKSS_selective, Algorithm 1.
+	Selective
+	// DPBackground is an extension beyond the paper: classic dual-
+	// priority in which backups also execute in a background band
+	// *before* their promotion instant, soaking up idle time. It
+	// quantifies how much energy the ALAP-procrastination reading of the
+	// DP baseline (which Figure 1's 15-unit schedule confirms) saves
+	// over textbook dual-priority.
+	DPBackground
+)
+
+func (a Approach) String() string {
+	switch a {
+	case ST:
+		return "MKSS-ST"
+	case DP:
+		return "MKSS-DP"
+	case Greedy:
+		return "MKSS-greedy"
+	case Selective:
+		return "MKSS-selective"
+	case DPBackground:
+		return "MKSS-DP-background"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Approaches lists the paper's approaches in presentation order.
+func Approaches() []Approach { return []Approach{ST, DP, Greedy, Selective} }
+
+// Extensions lists the approaches this repository adds beyond the paper.
+func Extensions() []Approach { return []Approach{DPBackground} }
+
+// Options tunes policy construction; the zero value reproduces the paper.
+type Options struct {
+	// Pattern is the static partition used by ST/DP and for the θ
+	// analysis; the paper uses the R-pattern.
+	Pattern pattern.Kind
+	// HyperperiodCap bounds the θ analysis (see postpone.Options).
+	HyperperiodCap timeu.Time
+	// NoAlternation disables the selective scheme's primary/spare
+	// alternation of eligible optional jobs (ablation: everything goes to
+	// the primary's OJQ).
+	NoAlternation bool
+	// FDThreshold is the flexibility-degree eligibility threshold of the
+	// selective scheme; optional jobs with 1 <= FD <= FDThreshold are
+	// selected. Zero means the paper's value, 1. (Ablation knob.)
+	FDThreshold int
+	// UsePromotionForTheta makes the selective scheme postpone backups by
+	// Yi instead of θi (ablation: isolates the benefit of Defs. 2–5).
+	UsePromotionForTheta bool
+}
+
+// New constructs the sim.Policy for an approach.
+func New(a Approach, opts Options) (sim.Policy, error) {
+	if opts.FDThreshold == 0 {
+		opts.FDThreshold = 1
+	}
+	switch a {
+	case ST:
+		return &stPolicy{opts: opts}, nil
+	case DP:
+		return &dpPolicy{opts: opts}, nil
+	case Greedy:
+		return &greedyPolicy{opts: opts}, nil
+	case Selective:
+		return &selectivePolicy{opts: opts}, nil
+	case DPBackground:
+		return &dpPolicy{opts: opts, background: true}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown approach %d", int(a))
+	}
+}
+
+// MustNew is New for approaches known at compile time.
+func MustNew(a Approach, opts Options) sim.Policy {
+	p, err := New(a, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

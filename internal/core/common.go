@@ -1,0 +1,20 @@
+package core
+
+import (
+	"repro/internal/pattern"
+)
+
+// patternMandatory is a tiny indirection so policy files read uniformly.
+func patternMandatory(kind pattern.Kind, index, m, k int) bool {
+	return pattern.Mandatory(kind, index, m, k)
+}
+
+// histories builds one fresh (all-effective) outcome window per task of a
+// set with the given constraints; used by the dynamic policies.
+func histories(ms, ks []int) []*pattern.History {
+	hs := make([]*pattern.History, len(ms))
+	for i := range ms {
+		hs[i] = pattern.NewHistory(ms[i], ks[i])
+	}
+	return hs
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"repro/internal/rta"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// fpLess is plain fixed-priority ordering: lower task index first, then
+// earlier job, then mains before backups (the last tie can only occur
+// after a permanent fault migrates both copies onto one processor).
+func fpLess(a, b *task.Job) bool {
+	if a.TaskID != b.TaskID {
+		return a.TaskID < b.TaskID
+	}
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	return a.Copy == task.Main && b.Copy == task.Backup
+}
+
+// stPolicy is MKSS_ST: static pattern, both copies of every mandatory job
+// released concurrently (main on the primary, backup on the spare), plain
+// FP on each processor, optional jobs never executed. It is the energy
+// reference of §V: the two processors run near-identical schedules, so
+// backup cancellation saves almost nothing.
+type stPolicy struct {
+	opts Options
+	dead [sim.NumProcs]bool
+}
+
+func (p *stPolicy) Name() string { return ST.String() }
+
+func (p *stPolicy) Init(e *sim.Engine) error { return nil }
+
+func (p *stPolicy) Release(e *sim.Engine, t task.Task, index int) {
+	if !staticMandatory(p.opts, t, index) {
+		e.SettleSkip(t.ID, index)
+		return
+	}
+	e.Counters().MandatoryJobs++
+	main := task.NewJob(t, index, task.Mandatory)
+	if p.dead[sim.Primary] || p.dead[sim.Spare] {
+		// Single survivor: one copy only.
+		e.Admit(main, e.Survivor())
+		return
+	}
+	e.Admit(main, sim.Primary)
+	e.Admit(task.NewBackup(t, index, 0), sim.Spare)
+}
+
+func (p *stPolicy) Less(now timeu.Time, a, b *task.Job) bool { return fpLess(a, b) }
+
+func (p *stPolicy) Runnable(now timeu.Time, j *task.Job) bool { return true }
+
+func (p *stPolicy) OnSettled(e *sim.Engine, taskID, index int, effective bool) {}
+
+func (p *stPolicy) OnPermanentFault(e *sim.Engine, dead int) { p.dead[dead] = true }
+
+// dpPolicy is MKSS_DP: the preference-oriented dual-priority baseline
+// reconstructed from Figure 1. Main copies alternate across the two
+// processors by task index (τ1 main on the primary, τ2 main on the spare,
+// ...); each backup runs on the opposite processor with its release
+// procrastinated by the promotion interval Yi = Di − Ri (Eq. 2), after
+// which it competes at its regular fixed priority. A main that completes
+// successfully cancels its backup, which is the entire energy play.
+type dpPolicy struct {
+	opts Options
+	ys   []timeu.Time
+	dead [sim.NumProcs]bool
+	// background switches to textbook dual-priority (the DPBackground
+	// extension): backups are eligible from their nominal release but run
+	// in a background band until promotion at r + Yi, instead of being
+	// absent until r + Yi.
+	background bool
+}
+
+func (p *dpPolicy) Name() string {
+	if p.background {
+		return DPBackground.String()
+	}
+	return DP.String()
+}
+
+func (p *dpPolicy) Init(e *sim.Engine) error {
+	p.ys = rta.PromotionTimesSafe(e.Set())
+	return nil
+}
+
+// mainProc returns the processor hosting task i's main copies (Figure 1's
+// alternating assignment).
+func (p *dpPolicy) mainProc(taskID int) int { return taskID % sim.NumProcs }
+
+func (p *dpPolicy) Release(e *sim.Engine, t task.Task, index int) {
+	if !staticMandatory(p.opts, t, index) {
+		e.SettleSkip(t.ID, index)
+		return
+	}
+	e.Counters().MandatoryJobs++
+	main := task.NewJob(t, index, task.Mandatory)
+	if p.dead[sim.Primary] || p.dead[sim.Spare] {
+		e.Admit(main, e.Survivor())
+		return
+	}
+	mp := p.mainProc(t.ID)
+	e.Admit(main, mp)
+	if p.background {
+		backup := task.NewBackup(t, index, 0)
+		backup.Promote = backup.BaseRelease + p.ys[t.ID]
+		e.Admit(backup, 1-mp)
+	} else {
+		e.Admit(task.NewBackup(t, index, p.ys[t.ID]), 1-mp)
+	}
+}
+
+// dpBand returns 0 (regular) or 1 (background). Only DPBackground's
+// pre-promotion backups ever sit in the background band.
+func dpBand(now timeu.Time, j *task.Job) int {
+	if j.Promote > now {
+		return 1
+	}
+	return 0
+}
+
+func (p *dpPolicy) Less(now timeu.Time, a, b *task.Job) bool {
+	if p.background {
+		ba, bb := dpBand(now, a), dpBand(now, b)
+		if ba != bb {
+			return ba < bb
+		}
+	}
+	return fpLess(a, b)
+}
+
+func (p *dpPolicy) Runnable(now timeu.Time, j *task.Job) bool { return true }
+
+func (p *dpPolicy) OnSettled(e *sim.Engine, taskID, index int, effective bool) {}
+
+func (p *dpPolicy) OnPermanentFault(e *sim.Engine, dead int) { p.dead[dead] = true }
+
+// staticMandatory applies the static pattern classification shared by the
+// ST and DP baselines.
+func staticMandatory(opts Options, t task.Task, index int) bool {
+	return patternMandatory(opts.Pattern, index, t.M, t.K)
+}

@@ -1,0 +1,390 @@
+// Package experiment regenerates the paper's evaluation (Figure 6): a
+// sweep over total (m,k)-utilization intervals, with 20 schedulable task
+// sets per interval, comparing the active energy of MKSS_ST (the
+// reference), MKSS_DP and MKSS_selective under three fault scenarios —
+// no faults (6a), one permanent fault (6b), and permanent plus Poisson
+// transient faults (6c). Energies are reported normalized to MKSS_ST per
+// set and averaged per interval, which is how the figure presents them.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a sweep; DefaultConfig reproduces Figure 6.
+type Config struct {
+	// Seed makes the whole sweep reproducible: task-set generation and
+	// fault injection derive independent sub-streams from it.
+	Seed uint64
+	// Intervals are the (m,k)-utilization buckets (paper: width 0.1).
+	Intervals []workload.Interval
+	// SetsPerInterval and MaxCandidates implement the paper's "at least
+	// 20 task sets schedulable or at least 5000 task sets generated".
+	SetsPerInterval int
+	MaxCandidates   int
+	// Scenario selects the fault setting (Figure 6a/b/c).
+	Scenario fault.Scenario
+	// Approaches to compare; ST is always run (it is the normalizer).
+	Approaches []core.Approach
+	// Workload generation parameters (zero value → workload.DefaultConfig).
+	Workload workload.Config
+	// CoreOpts tune the policies (ablations); zero value is the paper.
+	CoreOpts core.Options
+	// Power is the energy model (zero value → sim.DefaultPower()).
+	Power sim.PowerModel
+	// MinHorizon and HorizonCap bound the per-set simulation horizon: the
+	// (m,k)-hyperperiod extended to at least MinHorizon, capped at
+	// HorizonCap. Defaults: 500 ms and 2 s.
+	MinHorizon timeu.Time
+	HorizonCap timeu.Time
+	// Workers bounds simulation parallelism (0 = 4).
+	Workers int
+	// Progress, when non-nil, receives one line per finished interval.
+	Progress io.Writer
+}
+
+// DefaultConfig returns the paper's Figure 6 setup for a scenario.
+func DefaultConfig(sc fault.Scenario) Config {
+	return Config{
+		Seed:            2020,
+		Intervals:       workload.Intervals(0.1, 1.0, 0.1),
+		SetsPerInterval: 20,
+		MaxCandidates:   5000,
+		Scenario:        sc,
+		Approaches:      []core.Approach{core.ST, core.DP, core.Selective},
+		Workload:        workload.DefaultConfig(),
+		MinHorizon:      500 * timeu.Millisecond,
+		HorizonCap:      2 * timeu.Second,
+		Workers:         4,
+	}
+}
+
+// SetResult is one task set's outcome across approaches.
+type SetResult struct {
+	Set     *task.Set
+	Horizon timeu.Time
+	// Active[a] is the absolute active energy of approach a; Norm[a] is
+	// Active[a]/Active[ST].
+	Active map[core.Approach]float64
+	Norm   map[core.Approach]float64
+	// Violated[a] reports an (m,k) violation under approach a.
+	Violated map[core.Approach]bool
+}
+
+// Row aggregates one utilization interval.
+type Row struct {
+	Interval   workload.Interval
+	Candidates int
+	Sets       []SetResult
+	// NormMean[a] is the interval's mean normalized energy; NormCI the
+	// 95% half-width.
+	NormMean map[core.Approach]float64
+	NormCI   map[core.Approach]float64
+	// Violations[a] counts sets with (m,k) violations.
+	Violations map[core.Approach]int
+}
+
+// Report is a full sweep.
+type Report struct {
+	Scenario   fault.Scenario
+	Approaches []core.Approach
+	Rows       []Row
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Report, error) {
+	if cfg.SetsPerInterval <= 0 {
+		cfg.SetsPerInterval = 20
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 5000
+	}
+	if len(cfg.Intervals) == 0 {
+		cfg.Intervals = workload.Intervals(0.1, 1.0, 0.1)
+	}
+	if cfg.Workload == (workload.Config{}) {
+		cfg.Workload = workload.DefaultConfig()
+	}
+	if cfg.Power == (sim.PowerModel{}) {
+		cfg.Power = sim.DefaultPower()
+	}
+	if cfg.MinHorizon <= 0 {
+		cfg.MinHorizon = 500 * timeu.Millisecond
+	}
+	if cfg.HorizonCap <= 0 {
+		cfg.HorizonCap = 2 * timeu.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	approaches := ensureST(cfg.Approaches)
+
+	rep := &Report{Scenario: cfg.Scenario, Approaches: approaches, Rows: make([]Row, len(cfg.Intervals))}
+	for ivIdx, iv := range cfg.Intervals {
+		gen := workload.NewGenerator(cfg.Workload, stats.DeriveSeed(cfg.Seed, uint64(ivIdx)))
+		batch := gen.GenerateInterval(iv, cfg.SetsPerInterval, cfg.MaxCandidates)
+		row := Row{
+			Interval:   iv,
+			Candidates: batch.Candidates,
+			NormMean:   map[core.Approach]float64{},
+			NormCI:     map[core.Approach]float64{},
+			Violations: map[core.Approach]int{},
+		}
+		results := make([]SetResult, len(batch.Sets))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		var firstErr error
+		var mu sync.Mutex
+		for si, s := range batch.Sets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(si int, s *task.Set) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+ivIdx*10_000+si))
+				sr, err := RunSet(s, approaches, cfg, faultSeed)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("interval %v set %d: %w", iv, si, err)
+					return
+				}
+				results[si] = sr
+			}(si, s)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		row.Sets = results
+		aggregate(&row, approaches)
+		rep.Rows[ivIdx] = row
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "interval %v: %d sets (%d candidates) %s\n",
+				iv, len(row.Sets), row.Candidates, row.summary(approaches))
+		}
+	}
+	return rep, nil
+}
+
+// RunSet simulates one task set under every approach with an identical
+// fault realization and returns the per-approach energies.
+func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64) (SetResult, error) {
+	horizon := simHorizon(s, cfg.MinHorizon, cfg.HorizonCap)
+	sr := SetResult{
+		Set:      s,
+		Horizon:  horizon,
+		Active:   map[core.Approach]float64{},
+		Norm:     map[core.Approach]float64{},
+		Violated: map[core.Approach]bool{},
+	}
+	for _, a := range approaches {
+		// Each approach re-draws the same plan from the same seed, so the
+		// permanent fault instant/processor are identical across
+		// approaches (fair comparison); transient draws consume the
+		// stream per executed job.
+		plan := fault.NewPlan(cfg.Scenario, horizon, stats.NewRand(faultSeed))
+		policy, err := core.New(a, cfg.CoreOpts)
+		if err != nil {
+			return sr, err
+		}
+		eng, err := sim.New(s, policy, sim.Config{
+			Power:   cfg.Power,
+			Horizon: horizon,
+			Faults:  plan,
+		})
+		if err != nil {
+			return sr, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return sr, err
+		}
+		sr.Active[a] = res.ActiveEnergy()
+		sr.Violated[a] = !res.MKSatisfied()
+	}
+	ref := sr.Active[core.ST]
+	for _, a := range approaches {
+		if ref > 0 {
+			sr.Norm[a] = sr.Active[a] / ref
+		} else {
+			sr.Norm[a] = 1
+		}
+	}
+	return sr, nil
+}
+
+// simHorizon extends the (m,k)-hyperperiod to at least minH, capping at
+// capH: whole hyperperiods keep the static patterns periodic, the floor
+// keeps short-hyperperiod sets statistically meaningful, and the cap
+// keeps astronomically long hyperperiods tractable.
+func simHorizon(s *task.Set, minH, capH timeu.Time) timeu.Time {
+	h := s.MKHyperperiod(capH)
+	if h >= capH {
+		return capH
+	}
+	n := timeu.CeilDiv(minH, h)
+	if n < 1 {
+		n = 1
+	}
+	total := n * h
+	if total > capH {
+		total = capH
+	}
+	return total
+}
+
+func aggregate(row *Row, approaches []core.Approach) {
+	for _, a := range approaches {
+		var sample stats.Sample
+		for _, sr := range row.Sets {
+			sample.Add(sr.Norm[a])
+			if sr.Violated[a] {
+				row.Violations[a]++
+			}
+		}
+		row.NormMean[a] = sample.Mean()
+		row.NormCI[a] = sample.CI95()
+	}
+}
+
+func (row Row) summary(approaches []core.Approach) string {
+	parts := make([]string, 0, len(approaches))
+	for _, a := range approaches {
+		parts = append(parts, fmt.Sprintf("%s=%.3f", a, row.NormMean[a]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func ensureST(as []core.Approach) []core.Approach {
+	for _, a := range as {
+		if a == core.ST {
+			return as
+		}
+	}
+	return append([]core.Approach{core.ST}, as...)
+}
+
+// MaxGain returns the largest interval-mean energy reduction of approach
+// a over approach b (1 − mean_a/mean_b) and the interval where it occurs
+// — the paper's "maximal energy reduction by MKSS_selective over MKSS_DP"
+// headline.
+func (r *Report) MaxGain(a, b core.Approach) (float64, workload.Interval) {
+	best := 0.0
+	var at workload.Interval
+	for _, row := range r.Rows {
+		if len(row.Sets) == 0 || row.NormMean[b] == 0 {
+			continue
+		}
+		g := 1 - row.NormMean[a]/row.NormMean[b]
+		if g > best {
+			best = g
+			at = row.Interval
+		}
+	}
+	return best, at
+}
+
+// Table renders the report as a fixed-width ASCII table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure-6 sweep — scenario: %s\n", r.Scenario)
+	fmt.Fprintf(&b, "%-12s %5s %10s", "(m,k)-util", "sets", "candidates")
+	for _, a := range r.Approaches {
+		fmt.Fprintf(&b, " %16s", a)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %5d %10d", row.Interval, len(row.Sets), row.Candidates)
+		for _, a := range r.Approaches {
+			if len(row.Sets) == 0 {
+				fmt.Fprintf(&b, " %16s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "    %.3f ±%.3f", row.NormMean[a], row.NormCI[a])
+		}
+		b.WriteString("\n")
+	}
+	if gain, at := r.MaxGain(core.Selective, core.DP); gain > 0 {
+		fmt.Fprintf(&b, "max energy reduction of %s over %s: %.1f%% (at %v)\n",
+			core.Selective, core.DP, 100*gain, at)
+	}
+	return b.String()
+}
+
+// CSV renders the per-interval means as comma-separated series (one row
+// per interval; columns: util_mid, sets, then one normalized-energy
+// column per approach), for plotting.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	cols := []string{"util_mid", "sets"}
+	for _, a := range r.Approaches {
+		cols = append(cols, strings.ReplaceAll(strings.ToLower(a.String()), "-", "_"))
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%.2f,%d", row.Interval.Mid(), len(row.Sets))
+		for _, a := range r.Approaches {
+			fmt.Fprintf(&b, ",%.4f", row.NormMean[a])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// jsonReport mirrors Report with plain-JSON-friendly fields.
+type jsonReport struct {
+	Scenario   string    `json:"scenario"`
+	Approaches []string  `json:"approaches"`
+	Rows       []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	UtilLo     float64            `json:"util_lo"`
+	UtilHi     float64            `json:"util_hi"`
+	Sets       int                `json:"sets"`
+	Candidates int                `json:"candidates"`
+	NormMean   map[string]float64 `json:"norm_mean"`
+	NormCI95   map[string]float64 `json:"norm_ci95"`
+	Violations map[string]int     `json:"violations"`
+}
+
+// JSON renders the per-interval aggregates as a machine-readable
+// document (for external plotting/tooling).
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{Scenario: r.Scenario.String()}
+	for _, a := range r.Approaches {
+		out.Approaches = append(out.Approaches, a.String())
+	}
+	for _, row := range r.Rows {
+		jr := jsonRow{
+			UtilLo:     row.Interval.Lo,
+			UtilHi:     row.Interval.Hi,
+			Sets:       len(row.Sets),
+			Candidates: row.Candidates,
+			NormMean:   map[string]float64{},
+			NormCI95:   map[string]float64{},
+			Violations: map[string]int{},
+		}
+		for _, a := range r.Approaches {
+			jr.NormMean[a.String()] = row.NormMean[a]
+			jr.NormCI95[a.String()] = row.NormCI[a]
+			jr.Violations[a.String()] = row.Violations[a]
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,213 @@
+// Package postpone implements the paper's offline backup-release
+// postponement analysis (Definitions 2–5, Equations 3–5).
+//
+// In a standby-sparing system the spare processor should start backup
+// jobs as late as safely possible so that, when the main copy succeeds,
+// the backup is cancelled before consuming energy. The dual-priority
+// baseline postpones each backup by the promotion interval Yi = Di − Ri
+// (Eq. 2). The paper's analysis instead computes a per-task *release
+// postponement interval* θi that exploits the sparse mandatory pattern:
+//
+//	r̃i = ri + θi                                         (Eq. 3)
+//	θij = max{ t̄ − (cij + Σ ckl) − rij : t̄ ∈ IP(J'ij) }   (Eq. 4)
+//	θi  = min{ θij : j ≤ LCM_{q≤i}(kq·Pq)/Pi }            (Eq. 5)
+//
+// where the inspecting points IP(J'ij) are the job's own deadline dij and
+// every postponed release r̃kl of a higher-priority backup job falling in
+// (rij, dij) (Definition 3), and the interference sum counts every
+// higher-priority backup job with dkl > rij and r̃kl < t̄. Levels are
+// processed in descending priority order, revising release times level by
+// level, exactly as prescribed after Definition 5.
+//
+// The worked example of Figure 5 — τ1=(10,10,3,2,3), τ2=(15,15,8,1,2)
+// giving θ1 = 7 and θ2 = 4 — is reproduced in the package tests.
+package postpone
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/rta"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// Analysis is the result of the offline postponement computation.
+type Analysis struct {
+	// Theta[i] is the release postponement interval θi of task i's
+	// backups (already floored at the promotion interval Y[i]).
+	Theta []timeu.Time
+	// RawTheta[i] is θi as computed by Eqs. (4)–(5) before the Yi floor;
+	// kept for diagnostics and the ablation benches.
+	RawTheta []timeu.Time
+	// Y[i] is the dual-priority promotion interval Yi = Di − Ri (Eq. 2).
+	Y []timeu.Time
+	// Exact[i] reports whether θi came from the full hyperperiod
+	// analysis (true) or fell back to Yi because the level-i hyperperiod
+	// saturated the cap (false).
+	Exact []bool
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Pattern selects the static mandatory/optional partition; the paper
+	// uses the R-pattern.
+	Pattern pattern.Kind
+	// HyperperiodCap bounds the per-level analysis horizon. Levels whose
+	// LCM_{q≤i}(kq·Pq) exceeds the cap fall back to θi = Yi (safe by
+	// dual-priority theory). Zero means DefaultHyperperiodCap.
+	HyperperiodCap timeu.Time
+}
+
+// DefaultHyperperiodCap bounds the exact analysis to hyperperiods of at
+// most 10 seconds (2,000 jobs of the shortest paper-scale period); beyond
+// that the Yi fallback is used.
+const DefaultHyperperiodCap = 10 * timeu.Second
+
+// Compute runs the postponement analysis on set s. The set must be fully
+// FP-schedulable (rta.PromotionTimes must succeed) so that the Yi floor
+// and fallback exist; the paper's workload generator guarantees this.
+func Compute(s *task.Set, opts Options) (*Analysis, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("postpone: %w", err)
+	}
+	cap := opts.HyperperiodCap
+	if cap <= 0 {
+		cap = DefaultHyperperiodCap
+	}
+	// Safe promotion intervals: tasks whose full-interference RTA
+	// diverges get Y = 0, so the floor below never hurts correctness on
+	// sets that are only R-pattern-schedulable.
+	ys := rta.PromotionTimesSafe(s)
+	n := s.N()
+	an := &Analysis{
+		Theta:    make([]timeu.Time, n),
+		RawTheta: make([]timeu.Time, n),
+		Y:        ys,
+		Exact:    make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		t := s.Tasks[i]
+		hyper := s.MKHyperperiodLevel(i, cap)
+		if hyper >= cap {
+			// Hyperperiod too large for exact analysis: fall back to the
+			// dual-priority promotion interval, which is always safe.
+			an.RawTheta[i] = ys[i]
+			an.Theta[i] = ys[i]
+			an.Exact[i] = false
+			continue
+		}
+		theta := timeu.Infinity
+		found := false
+		for j := 1; t.Release(j) < hyper; j++ {
+			if !pattern.Mandatory(opts.Pattern, j, t.M, t.K) {
+				continue
+			}
+			found = true
+			th := thetaJob(s, an, opts.Pattern, i, j)
+			if th < theta {
+				theta = th
+			}
+		}
+		if !found {
+			theta = ys[i]
+		}
+		an.RawTheta[i] = theta
+		an.Exact[i] = true
+		// The paper's closing remark (§IV): a θi below the promotion
+		// interval can always be raised to it safely, and Eq. (4) can go
+		// negative under pessimistic interference — floor at Yi.
+		if theta < ys[i] {
+			theta = ys[i]
+		}
+		an.Theta[i] = theta
+	}
+	return an, nil
+}
+
+// hpJob is one higher-priority backup job relevant to an Eq. (4) window.
+type hpJob struct {
+	posted timeu.Time // r̃kl
+	dl     timeu.Time // dkl
+	wcet   timeu.Time // ckl
+}
+
+// relevantHP enumerates the higher-priority backup jobs that can appear
+// in Eq. (4) for a window [r, d): those with deadline after r (dkl > r)
+// or postponed release inside (r, d). Both conditions bound the nominal
+// release to (r − Dk, d − θk), a window of at most Dk + Pi per task, so
+// the enumeration is O(jobs near the window), not O(jobs in the
+// hyperperiod).
+func relevantHP(s *task.Set, an *Analysis, kind pattern.Kind, i int, r, d timeu.Time) []hpJob {
+	var out []hpJob
+	for k := 0; k < i; k++ {
+		tk := s.Tasks[k]
+		thetaK := an.Theta[k]
+		// First candidate: release > r − Dk  =>  l > (r − Dk − offset)/Pk.
+		lo := tk.JobIndexAt(r-tk.Deadline) + 1
+		if lo < 1 {
+			lo = 1
+		}
+		for l := lo; ; l++ {
+			rel := tk.Release(l)
+			if rel+thetaK >= d {
+				// Posted at or after every inspecting point: such a job
+				// can neither interfere (needs r̃kl < t̄ ≤ d) nor be an
+				// inspecting point itself; later jobs only more so.
+				break
+			}
+			if !pattern.Mandatory(kind, l, tk.M, tk.K) {
+				continue
+			}
+			dl := rel + tk.Deadline
+			if dl > r {
+				out = append(out, hpJob{posted: rel + thetaK, dl: dl, wcet: tk.WCET})
+			}
+		}
+	}
+	return out
+}
+
+// thetaJob evaluates Eq. (4) for backup job J'_ij.
+func thetaJob(s *task.Set, an *Analysis, kind pattern.Kind, i, j int) timeu.Time {
+	t := s.Tasks[i]
+	r := t.Release(j)
+	d := t.AbsDeadline(j)
+	hp := relevantHP(s, an, kind, i, r, d)
+	// Inspecting points (Definition 3): dij plus every r̃kl in (rij, dij).
+	points := []timeu.Time{d}
+	for _, b := range hp {
+		if b.posted > r && b.posted < d {
+			points = append(points, b.posted)
+		}
+	}
+	best := -timeu.Infinity // Eq. (4) may be negative
+	for _, tb := range points {
+		// Interference: higher-priority backup jobs with dkl > rij and
+		// r̃kl < t̄ contribute their whole WCET.
+		var inter timeu.Time
+		for _, b := range hp {
+			if b.dl > r && b.posted < tb {
+				inter += b.wcet
+			}
+		}
+		v := tb - (t.WCET + inter) - r
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PostponedReleases returns the postponed release instants r̃ of task i's
+// mandatory backup jobs in [0, horizon), for trace output and tests.
+func (a *Analysis) PostponedReleases(s *task.Set, i int, kind pattern.Kind, horizon timeu.Time) []timeu.Time {
+	t := s.Tasks[i]
+	var out []timeu.Time
+	for j := 1; t.Release(j) < horizon; j++ {
+		if pattern.Mandatory(kind, j, t.M, t.K) {
+			out = append(out, t.Release(j)+a.Theta[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package rta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+func TestMandatoryDemandBasics(t *testing.T) {
+	// (2,3) task, P=10, C=3: mandatory jobs 1,2 of every 3.
+	tk := task.New(0, 10, 10, 3, 2, 3)
+	cases := []struct {
+		atMS float64
+		want float64 // ms of demand
+	}{
+		{0, 0},
+		{0.5, 3},  // job 1 released at 0
+		{10, 3},   // job 2 releases exactly at 10: [0,10) has 1 release
+		{10.5, 6}, // jobs 1,2
+		{20.5, 6}, // job 3 optional
+		{30.5, 9}, // job 4 (next cycle) mandatory
+		{60, 12},  // two full cycles [0,60): 2*2 jobs
+	}
+	for _, c := range cases {
+		got := MandatoryDemand(tk, pattern.RPattern, timeu.FromMillis(c.atMS))
+		if got != timeu.FromMillis(c.want) {
+			t.Errorf("demand(%vms) = %v, want %vms", c.atMS, got, c.want)
+		}
+	}
+}
+
+func TestMandatoryDemandMatchesEnumeration(t *testing.T) {
+	f := func(pMS, cQ, mr, kr uint8, xMS uint16) bool {
+		period := timeu.Time(pMS%46+5) * timeu.Millisecond
+		k := int(kr%19) + 2
+		m := int(mr)%(k-1) + 1
+		wcet := timeu.Time(cQ%10+1) * period / 12
+		if wcet < 1 {
+			wcet = 1
+		}
+		tk := task.Task{ID: 0, Period: period, Deadline: period, WCET: wcet, M: m, K: k}
+		x := timeu.Time(xMS) * timeu.Millisecond / 4
+		got := MandatoryDemand(tk, pattern.RPattern, x)
+		// Brute force.
+		var want timeu.Time
+		for j := 1; tk.Release(j) < x; j++ {
+			if pattern.Mandatory(pattern.RPattern, j, m, k) {
+				want += wcet
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMandatoryResponseTimeSimple(t *testing.T) {
+	// Fig. 5 set: tau2's first backup-equivalent job: own demand 8,
+	// higher-priority mandatory demand in [0,f): tau1 jobs 1 (0) and 2
+	// (10): f = 8+3 = 11 -> includes release 10 -> f = 8+6 = 14 ->
+	// converged (next release 20 > 14). R = 14.
+	s := task.NewSet(task.New(0, 10, 10, 3, 2, 3), task.New(1, 15, 15, 8, 1, 2))
+	r, ok := MandatoryResponseTime(s, pattern.RPattern, 1, 1)
+	if !ok {
+		t.Fatal("job must be schedulable")
+	}
+	if r != timeu.FromMillis(14) {
+		t.Errorf("response = %v, want 14ms", r)
+	}
+}
+
+func TestMandatoryResponseTimeUnschedulable(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 8, 1, 2), task.New(1, 10, 10, 8, 1, 2))
+	if _, ok := MandatoryResponseTime(s, pattern.RPattern, 1, 1); ok {
+		t.Error("overloaded job reported schedulable")
+	}
+	if SchedulableRPatternAnalytic(s, pattern.RPattern, timeu.Second) {
+		t.Error("overloaded set reported schedulable")
+	}
+}
+
+func TestAnalyticAgreesOnPaperSets(t *testing.T) {
+	sets := []*task.Set{
+		task.NewSet(task.New(0, 5, 4, 3, 2, 4), task.New(1, 10, 10, 3, 1, 2)),
+		task.NewSet(task.New(0, 5, 2.5, 2, 2, 4), task.New(1, 4, 4, 2, 2, 4)),
+		task.NewSet(task.New(0, 10, 10, 3, 2, 3), task.New(1, 15, 15, 8, 1, 2)),
+	}
+	for i, s := range sets {
+		an := SchedulableRPatternAnalytic(s, pattern.RPattern, 10*timeu.Second)
+		si := SchedulableRPattern(s, pattern.RPattern, 10*timeu.Second)
+		if an != si {
+			t.Errorf("set %d: analytic %v != simulated %v", i, an, si)
+		}
+	}
+}
+
+// The core safety property: the analytic test never accepts a set the
+// exact synchronous simulation rejects.
+func TestAnalyticNeverUnsafe(t *testing.T) {
+	f := func(p1, p2, p3, c1, c2, c3, k1, k2, k3 uint8) bool {
+		mkTask := func(id int, pr, cr, kr uint8) task.Task {
+			period := timeu.Time(pr%5+1) * 5 * timeu.Millisecond
+			k := int(kr%5) + 2
+			m := int(cr)%(k-1) + 1
+			wcet := timeu.Time(cr%6+1) * period / 8
+			if wcet < 1 {
+				wcet = 1
+			}
+			return task.Task{ID: id, Period: period, Deadline: period, WCET: wcet, M: m, K: k}
+		}
+		s := task.NewSet(mkTask(0, p1, c1, k1), mkTask(1, p2, c2, k2), mkTask(2, p3, c3, k3))
+		if s.Validate() != nil {
+			return true
+		}
+		const cap = 5 * timeu.Second
+		an := SchedulableRPatternAnalytic(s, pattern.RPattern, cap)
+		if !an {
+			return true // conservative rejection is always fine
+		}
+		return SchedulableRPattern(s, pattern.RPattern, cap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMKUtilizationBound(t *testing.T) {
+	ok := task.NewSet(task.New(0, 10, 10, 3, 2, 3))
+	if !MKUtilizationBound(ok) {
+		t.Error("light set rejected")
+	}
+	heavy := task.NewSet(
+		task.New(0, 10, 10, 8, 3, 4),
+		task.New(1, 10, 10, 8, 3, 4),
+	)
+	if MKUtilizationBound(heavy) {
+		t.Error("overloaded set accepted")
+	}
+}

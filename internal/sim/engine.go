@@ -1,0 +1,723 @@
+// Package sim is the discrete-event simulator for the paper's two-
+// processor standby-sparing system. It owns time, the two processors,
+// energy accounting with dynamic power-down, job-copy pairing (main on
+// the primary, backup on the spare), outcome settlement against the
+// (m,k) history, and fault injection. Scheduling decisions — which job
+// copy goes where, in which priority band, and when backups become
+// eligible — are delegated to a Policy; the four approaches of the paper
+// (MKSS_ST, MKSS_DP, the greedy dynamic scheme of §III, and the selective
+// Algorithm 1) are Policy implementations in internal/core.
+//
+// The engine is event-driven: between consecutive events (job releases,
+// completions, deadlines, postponed-release/promotion activations, the
+// permanent fault, and the horizon) the system state is constant, so the
+// simulation advances in exact closed-form steps with no quantization
+// error — all times are integer microseconds (see internal/timeu).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/pattern"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// NumProcs is fixed by the architecture: a primary and a spare.
+const NumProcs = 2
+
+// Processor indices.
+const (
+	Primary = 0
+	Spare   = 1
+)
+
+// Policy is the scheduling brain plugged into the engine. All hooks run
+// at the engine's current time; policies must not mutate job fields other
+// than through the documented engine calls.
+type Policy interface {
+	// Name identifies the approach in reports ("MKSS-selective", ...).
+	Name() string
+	// Init is called once, after the engine is constructed and before
+	// time starts; policies typically run offline analyses here.
+	Init(e *Engine) error
+	// Release is called at each job release instant r_ij, in priority
+	// order. The policy classifies the job and calls e.Admit for every
+	// copy it wants scheduled (or e.SettleSkip to skip an optional job).
+	Release(e *Engine, t task.Task, index int)
+	// Less orders two eligible job copies competing for the same
+	// processor; true means a runs before b.
+	Less(now timeu.Time, a, b *task.Job) bool
+	// Runnable reports whether j may be dispatched at now (policies use
+	// this to avoid starting optional jobs that can no longer finish).
+	Runnable(now timeu.Time, j *task.Job) bool
+	// OnSettled reports the final outcome of job index of task taskID
+	// (true = effective). Outcomes arrive in strictly increasing index
+	// order per task.
+	OnSettled(e *Engine, taskID, index int, effective bool)
+	// OnPermanentFault tells the policy processor dead has failed; the
+	// engine has already migrated/cancelled copies. Subsequent Release
+	// calls must route everything to the survivor.
+	OnPermanentFault(e *Engine, dead int)
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// Power is the energy model; zero value means DefaultPower().
+	Power PowerModel
+	// Horizon is the simulated duration (must be positive). Jobs
+	// releasing at or after the horizon do not exist; the run's energy
+	// accounts exactly [0, Horizon).
+	Horizon timeu.Time
+	// Faults is the fault realization; nil means fault-free.
+	Faults *fault.Plan
+	// RecordTrace enables segment recording for Gantt output.
+	RecordTrace bool
+	// MaxEvents guards against runaway simulations; zero means a
+	// generous default derived from the horizon.
+	MaxEvents int
+	// PreemptionOverhead models cache-related preemption delay: every
+	// time a partially executed copy is preempted, this much execution
+	// demand is added to it (charged on resumption). The paper folds all
+	// overheads into the WCET (zero here reproduces it); the knob exists
+	// for sensitivity studies.
+	PreemptionOverhead timeu.Time
+}
+
+// Segment is one contiguous execution interval of a job copy on a
+// processor, for trace rendering.
+type Segment struct {
+	Proc     int
+	TaskID   int
+	Index    int
+	Copy     task.Copy
+	Class    task.Class
+	Start    timeu.Time
+	End      timeu.Time
+	Canceled bool // segment ended by cancellation/kill rather than preemption/completion
+}
+
+// Counters aggregates run statistics.
+type Counters struct {
+	Released         int // job releases seen (per task job, not per copy)
+	MandatoryJobs    int
+	OptionalSelected int
+	OptionalSkipped  int
+	BackupsCreated   int
+	// BackupsCanceledClean counts backups cancelled before executing a
+	// single tick; BackupsCanceledPartial those cancelled mid-run.
+	BackupsCanceledClean   int
+	BackupsCanceledPartial int
+	TransientFaults        int
+	Misses                 int
+	Effective              int
+	Demotions              int // mandatory jobs demoted to optional/dropped by the dynamic schemes
+	Preemptions            int // times a partially executed copy was displaced by a higher-priority one
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Policy  string
+	Horizon timeu.Time
+	Power   PowerModel
+	// PerProc energy breakdowns, and their sum.
+	PerProc [NumProcs]Energy
+	Totals  Energy
+	// Outcomes[i] is task i's realized 0/1 sequence over the run.
+	Outcomes [][]bool
+	// ViolationAt[i] is the 0-based index of the first (m,k) violation
+	// of task i, or -1.
+	ViolationAt []int
+	Counters    Counters
+	// Trace is non-nil when Config.RecordTrace was set.
+	Trace []Segment
+	// PermanentFault echoes the injected permanent fault, if any fired.
+	PermanentFault *fault.Permanent
+}
+
+// ActiveEnergy returns the total active energy — the paper's metric.
+func (r *Result) ActiveEnergy() float64 { return r.Totals.Active(r.Power) }
+
+// TotalEnergy returns active+idle+sleep energy.
+func (r *Result) TotalEnergy() float64 { return r.Totals.Total(r.Power) }
+
+// MKSatisfied reports whether no task violated its (m,k) constraint.
+func (r *Result) MKSatisfied() bool {
+	for _, v := range r.ViolationAt {
+		if v >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pairKey identifies a logical job J_ij.
+type pairKey struct {
+	taskID int
+	index  int
+}
+
+// jobPair tracks the copies and settlement state of one logical job.
+type jobPair struct {
+	key     pairKey
+	class   task.Class
+	copies  []*task.Job
+	dl      timeu.Time
+	settled bool
+}
+
+type processor struct {
+	id       int
+	dead     bool
+	asleep   bool
+	cur      *task.Job
+	curStart timeu.Time
+	energy   Energy
+}
+
+// Engine runs one simulation. Construct with New, run with Run.
+type Engine struct {
+	set    *task.Set
+	policy Policy
+	cfg    Config
+
+	now      timeu.Time
+	procs    [NumProcs]*processor
+	live     [NumProcs][]*task.Job
+	nextIdx  []int // per task: next job index to release (1-based)
+	pairs    map[pairKey]*jobPair
+	open     []*jobPair // unsettled pairs
+	outcomes [][]bool
+	counters Counters
+	trace    []Segment
+	permHit  *fault.Permanent
+	events   int
+}
+
+// New constructs an engine; call Run exactly once.
+func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("sim: non-positive horizon")
+	}
+	if cfg.Power == (PowerModel{}) {
+		cfg.Power = DefaultPower()
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = fault.NoFaults()
+	}
+	if cfg.MaxEvents == 0 {
+		// Each job contributes a bounded number of events; 64 per
+		// released job copy is far beyond any legitimate schedule.
+		jobs := 0
+		for _, t := range set.Tasks {
+			jobs += int(cfg.Horizon/t.Period) + 2
+		}
+		cfg.MaxEvents = 64 * (jobs + 16) * NumProcs
+	}
+	e := &Engine{
+		set:      set,
+		policy:   policy,
+		cfg:      cfg,
+		nextIdx:  make([]int, set.N()),
+		pairs:    make(map[pairKey]*jobPair),
+		outcomes: make([][]bool, set.N()),
+	}
+	for i := range e.nextIdx {
+		e.nextIdx[i] = 1
+	}
+	for p := 0; p < NumProcs; p++ {
+		e.procs[p] = &processor{id: p}
+	}
+	return e, nil
+}
+
+// Now returns the current simulation time (valid inside policy hooks).
+func (e *Engine) Now() timeu.Time { return e.now }
+
+// Set returns the task set under simulation.
+func (e *Engine) Set() *task.Set { return e.set }
+
+// Horizon returns the configured horizon.
+func (e *Engine) Horizon() timeu.Time { return e.cfg.Horizon }
+
+// ProcDead reports whether processor p has suffered the permanent fault.
+func (e *Engine) ProcDead(p int) bool { return e.procs[p].dead }
+
+// Survivor returns the index of a live processor (the survivor after a
+// permanent fault; Primary when both are alive).
+func (e *Engine) Survivor() int {
+	for p := 0; p < NumProcs; p++ {
+		if !e.procs[p].dead {
+			return p
+		}
+	}
+	return Primary // unreachable: at most one permanent fault
+}
+
+// Counters gives policies access to the run counters (e.g. Demotions).
+func (e *Engine) Counters() *Counters { return &e.counters }
+
+// Admit registers a job copy for scheduling on processor proc. Copies of
+// the same logical job (same task and index) are paired automatically:
+// the first successful completion settles the job effective and cancels
+// the other copies. If proc is dead the copy is routed to the survivor.
+func (e *Engine) Admit(j *task.Job, proc int) {
+	if e.procs[proc].dead {
+		proc = e.Survivor()
+	}
+	key := pairKey{j.TaskID, j.Index}
+	p, ok := e.pairs[key]
+	if !ok {
+		p = &jobPair{key: key, class: j.Class, dl: j.Deadline}
+		e.pairs[key] = p
+		e.open = append(e.open, p)
+	}
+	p.copies = append(p.copies, j)
+	e.live[proc] = append(e.live[proc], j)
+	if j.Copy == task.Backup {
+		e.counters.BackupsCreated++
+	}
+	// New work may wake a sleeping processor (event wake; see DESIGN.md
+	// on the DPD model).
+	e.procs[proc].asleep = false
+}
+
+// SettleSkip records a skipped optional job (never admitted) as a miss in
+// the (m,k) history. Policies call it at release time.
+func (e *Engine) SettleSkip(taskID, index int) {
+	key := pairKey{taskID, index}
+	if _, ok := e.pairs[key]; ok {
+		panic("sim: SettleSkip on an admitted job")
+	}
+	p := &jobPair{key: key, class: task.Optional, settled: true}
+	e.pairs[key] = p
+	e.counters.OptionalSkipped++
+	e.recordOutcome(taskID, index, false)
+}
+
+// recordOutcome appends the outcome of job index of task taskID, checking
+// the strictly-increasing-index invariant, and notifies the policy.
+func (e *Engine) recordOutcome(taskID, index int, effective bool) {
+	if got := len(e.outcomes[taskID]) + 1; got != index {
+		panic(fmt.Sprintf("sim: outcome for %d-th job of task %d recorded out of order (expected %d)", index, taskID+1, got))
+	}
+	e.outcomes[taskID] = append(e.outcomes[taskID], effective)
+	if effective {
+		e.counters.Effective++
+	} else {
+		e.counters.Misses++
+	}
+	e.policy.OnSettled(e, taskID, index, effective)
+}
+
+// Run executes the simulation and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.policy.Init(e); err != nil {
+		return nil, fmt.Errorf("sim: policy init: %w", err)
+	}
+	for {
+		e.processCompletions()
+		e.processDeadlines()
+		e.processPermanentFault()
+		if e.now >= e.cfg.Horizon {
+			break
+		}
+		e.processReleases()
+		e.dispatch()
+		next, err := e.nextEventTime()
+		if err != nil {
+			return nil, err
+		}
+		if next > e.cfg.Horizon {
+			next = e.cfg.Horizon
+		}
+		e.advance(next)
+		e.events++
+		if e.events > e.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: event budget exceeded (%d) — runaway simulation", e.cfg.MaxEvents)
+		}
+	}
+	e.finish()
+	return e.result(), nil
+}
+
+// processReleases fires Policy.Release for every job releasing now. Jobs
+// whose deadline falls beyond the horizon are never released: the run
+// accounts whole jobs only, matching how the paper counts energy "within
+// the hyper period" in its worked examples (e.g. the last τ2 job of
+// Figure 3, released at 24 with deadline 28, does not execute before 25).
+func (e *Engine) processReleases() {
+	for i, t := range e.set.Tasks {
+		for t.Release(e.nextIdx[i]) == e.now && t.Release(e.nextIdx[i]) < e.cfg.Horizon {
+			if t.AbsDeadline(e.nextIdx[i]) <= e.cfg.Horizon {
+				e.counters.Released++
+				e.policy.Release(e, t, e.nextIdx[i])
+			}
+			e.nextIdx[i]++
+		}
+	}
+}
+
+// processCompletions finishes job copies whose demand reached zero.
+func (e *Engine) processCompletions() {
+	for _, p := range e.procs {
+		j := p.cur
+		if j == nil || j.Remaining > 0 {
+			continue
+		}
+		e.closeSegment(p, false)
+		p.cur = nil
+		j.Done = true
+		j.FinishTime = e.now
+		// Transient faults strike during execution and are detected by
+		// the end-of-job sanity check (§II-B).
+		if e.cfg.Faults.TransientDuring(j.WCET) {
+			j.Faulty = true
+			e.counters.TransientFaults++
+		}
+		e.removeLive(p.id, j)
+		if j.Completed() {
+			e.settleEffective(j)
+		} else {
+			e.copyFailed(j)
+		}
+	}
+}
+
+// settleEffective marks the logical job effective and cancels sibling
+// copies (the standby-sparing cancellation that saves spare energy).
+func (e *Engine) settleEffective(j *task.Job) {
+	key := pairKey{j.TaskID, j.Index}
+	p := e.pairs[key]
+	if p.settled {
+		return
+	}
+	p.settled = true
+	e.dropOpen(p)
+	for _, c := range p.copies {
+		if c == j || c.Done || c.Canceled {
+			continue
+		}
+		e.cancelCopy(c)
+	}
+	e.recordOutcome(j.TaskID, j.Index, true)
+}
+
+// copyFailed handles a copy that completed faulty: if no other copy can
+// still succeed, the job is settled as a miss immediately.
+func (e *Engine) copyFailed(j *task.Job) {
+	key := pairKey{j.TaskID, j.Index}
+	p := e.pairs[key]
+	if p.settled {
+		return
+	}
+	for _, c := range p.copies {
+		if !c.Done && !c.Canceled {
+			return // a sibling copy may still complete
+		}
+	}
+	p.settled = true
+	e.dropOpen(p)
+	e.recordOutcome(j.TaskID, j.Index, false)
+}
+
+// cancelCopy removes a pending/running copy from the system.
+func (e *Engine) cancelCopy(c *task.Job) {
+	c.Canceled = true
+	c.FinishTime = e.now
+	for pid := 0; pid < NumProcs; pid++ {
+		p := e.procs[pid]
+		if p.cur == c {
+			e.closeSegment(p, true)
+			p.cur = nil
+		}
+		e.removeLive(pid, c)
+	}
+	if c.Copy == task.Backup {
+		if c.Started {
+			e.counters.BackupsCanceledPartial++
+		} else {
+			e.counters.BackupsCanceledClean++
+		}
+	}
+}
+
+// processDeadlines settles every open pair whose deadline has arrived and
+// aborts its unfinished copies.
+func (e *Engine) processDeadlines() {
+	// Iterate over a snapshot: settlement mutates e.open.
+	var due []*jobPair
+	for _, p := range e.open {
+		if !p.settled && p.dl <= e.now {
+			due = append(due, p)
+		}
+	}
+	for _, p := range due {
+		p.settled = true
+		e.dropOpen(p)
+		for _, c := range p.copies {
+			if !c.Done && !c.Canceled {
+				e.cancelCopy(c)
+			}
+		}
+		e.recordOutcome(p.key.taskID, p.key.index, false)
+	}
+}
+
+// processPermanentFault kills the faulted processor when its time comes.
+func (e *Engine) processPermanentFault() {
+	pf := e.cfg.Faults.Permanent
+	if pf == nil || e.permHit != nil || pf.At > e.now {
+		return
+	}
+	e.permHit = pf
+	p := e.procs[pf.Proc]
+	if p.cur != nil {
+		e.closeSegment(p, true)
+	}
+	// Every copy on the dead processor is lost. Siblings on the survivor
+	// become the job's only chance; jobs with no surviving copy settle as
+	// misses at their deadline.
+	for _, c := range e.live[pf.Proc] {
+		c.Canceled = true
+		c.FinishTime = e.now
+		if c.Copy == task.Backup {
+			if c.Started {
+				e.counters.BackupsCanceledPartial++
+			} else {
+				e.counters.BackupsCanceledClean++
+			}
+		}
+	}
+	e.live[pf.Proc] = nil
+	p.cur = nil
+	p.dead = true
+	p.asleep = false
+	e.policy.OnPermanentFault(e, pf.Proc)
+}
+
+// dispatch re-evaluates, on each live processor, which eligible copy runs,
+// handling preemption, and decides idle-vs-sleep for empty processors.
+func (e *Engine) dispatch() {
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		pick := e.pick(p.id)
+		if pick != p.cur {
+			if p.cur != nil {
+				e.closeSegment(p, false)
+				// The displaced copy is preempted (it is neither done nor
+				// canceled — those paths clear cur before dispatch runs).
+				e.counters.Preemptions++
+				p.cur.Remaining += e.cfg.PreemptionOverhead
+			}
+			p.cur = pick
+			if pick != nil {
+				p.asleep = false
+				if !pick.Started {
+					pick.Started = true
+					pick.StartTime = e.now
+				}
+				p.curStart = e.now
+			}
+		}
+		if p.cur == nil {
+			// DPD decision (Algorithm 1 lines 10–15): sleep through the
+			// gap to the next known activation if it exceeds T_be.
+			gap := e.nextWork(p.id) - e.now
+			p.asleep = gap > e.cfg.Power.BreakEven
+		}
+	}
+}
+
+// pick returns the policy's highest-priority runnable copy on proc.
+func (e *Engine) pick(proc int) *task.Job {
+	var best *task.Job
+	for _, j := range e.live[proc] {
+		if j.Done || j.Canceled || j.Release > e.now {
+			continue
+		}
+		if !e.policy.Runnable(e.now, j) {
+			continue
+		}
+		if best == nil || e.policy.Less(e.now, j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+// nextWork returns the earliest future instant at which proc could get
+// work: the earliest pending activation among copies already assigned to
+// it (Algorithm 1's wake timer consults the earliest arrival among queued
+// jobs) or the next release of any task (a release may route a new copy
+// here — the scheduler knows periodic release times in advance). Should
+// work still arrive earlier (e.g. a job migrated after a permanent
+// fault), the processor wakes at assignment.
+func (e *Engine) nextWork(proc int) timeu.Time {
+	next := timeu.Infinity
+	for _, j := range e.live[proc] {
+		if j.Done || j.Canceled {
+			continue
+		}
+		if j.Release > e.now && j.Release < next {
+			next = j.Release
+		}
+	}
+	for i, t := range e.set.Tasks {
+		if r := t.Release(e.nextIdx[i]); r < e.cfg.Horizon && r < next {
+			next = r
+		}
+	}
+	return next
+}
+
+// nextEventTime computes the next instant anything can change.
+func (e *Engine) nextEventTime() (timeu.Time, error) {
+	next := e.cfg.Horizon
+	add := func(t timeu.Time) {
+		if t > e.now && t < next {
+			next = t
+		}
+	}
+	for i, t := range e.set.Tasks {
+		add(t.Release(e.nextIdx[i]))
+	}
+	for _, p := range e.procs {
+		if p.cur != nil {
+			add(e.now + p.cur.Remaining)
+		}
+	}
+	for _, p := range e.open {
+		add(p.dl)
+	}
+	for pid := 0; pid < NumProcs; pid++ {
+		for _, j := range e.live[pid] {
+			if j.Done || j.Canceled {
+				continue
+			}
+			add(j.Release)
+			if j.Promote > e.now && j.Promote < j.Deadline {
+				add(j.Promote)
+			}
+		}
+	}
+	if pf := e.cfg.Faults.Permanent; pf != nil && e.permHit == nil {
+		add(pf.At)
+	}
+	if next <= e.now && e.now < e.cfg.Horizon {
+		return 0, fmt.Errorf("sim: stalled at %v (no future event)", e.now)
+	}
+	return next, nil
+}
+
+// advance moves time to t, accruing energy and execution progress.
+func (e *Engine) advance(t timeu.Time) {
+	delta := t - e.now
+	if delta < 0 {
+		panic("sim: time went backwards")
+	}
+	for _, p := range e.procs {
+		switch {
+		case p.dead:
+			p.energy.DeadTime += delta
+		case p.cur != nil:
+			p.energy.ActiveTime += delta
+			p.cur.Remaining -= delta
+		case p.asleep:
+			p.energy.SleepTime += delta
+		default:
+			p.energy.IdleTime += delta
+		}
+	}
+	e.now = t
+}
+
+// finish closes accounting at the horizon: running segments are closed,
+// still-open pairs settle by their deadline rule only if the deadline is
+// within the horizon (it always is for constrained-deadline tasks released
+// before Horizon−P, and edge jobs settle here conservatively as misses
+// only when their deadline has passed).
+func (e *Engine) finish() {
+	for _, p := range e.procs {
+		if p.cur != nil {
+			e.closeSegment(p, false)
+			p.cur = nil
+		}
+	}
+	// Settle pairs whose deadline is exactly at the horizon or whose
+	// copies all finished; anything still genuinely in flight (deadline
+	// beyond horizon) is dropped from the outcome sequences — it is not
+	// a miss, the simulation simply ended first.
+	e.processDeadlines()
+}
+
+// closeSegment records the current execution segment of processor p
+// (no-op unless tracing is enabled and the segment has positive length).
+func (e *Engine) closeSegment(p *processor, canceled bool) {
+	if !e.cfg.RecordTrace || p.cur == nil || p.curStart == e.now {
+		return
+	}
+	j := p.cur
+	e.trace = append(e.trace, Segment{
+		Proc:     p.id,
+		TaskID:   j.TaskID,
+		Index:    j.Index,
+		Copy:     j.Copy,
+		Class:    j.Class,
+		Start:    p.curStart,
+		End:      e.now,
+		Canceled: canceled,
+	})
+}
+
+// removeLive deletes j from proc's live list.
+func (e *Engine) removeLive(proc int, j *task.Job) {
+	l := e.live[proc]
+	for i, x := range l {
+		if x == j {
+			l[i] = l[len(l)-1]
+			e.live[proc] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// dropOpen removes a settled pair from the open list.
+func (e *Engine) dropOpen(p *jobPair) {
+	for i, x := range e.open {
+		if x == p {
+			e.open[i] = e.open[len(e.open)-1]
+			e.open = e.open[:len(e.open)-1]
+			return
+		}
+	}
+}
+
+// result assembles the Result.
+func (e *Engine) result() *Result {
+	r := &Result{
+		Policy:         e.policy.Name(),
+		Horizon:        e.cfg.Horizon,
+		Power:          e.cfg.Power,
+		Outcomes:       e.outcomes,
+		ViolationAt:    make([]int, e.set.N()),
+		Counters:       e.counters,
+		Trace:          e.trace,
+		PermanentFault: e.permHit,
+	}
+	for p := 0; p < NumProcs; p++ {
+		r.PerProc[p] = e.procs[p].energy
+		r.Totals = r.Totals.Add(e.procs[p].energy)
+	}
+	for i, t := range e.set.Tasks {
+		r.ViolationAt[i] = pattern.FirstViolation(e.outcomes[i], t.M, t.K)
+	}
+	return r
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// TaskStats attributes a run's work and outcomes to one task.
+type TaskStats struct {
+	TaskID int
+	// Released counts the task's jobs released within the horizon;
+	// Effective/Misses partition their settled outcomes.
+	Released  int
+	Effective int
+	Misses    int
+	// MainTime/BackupTime are the execution time consumed by the task's
+	// main and backup copies (including canceled partial executions).
+	MainTime   timeu.Time
+	BackupTime timeu.Time
+	// MKViolatedAt is the 0-based index of the first (m,k) violation, or
+	// -1.
+	MKViolatedAt int
+}
+
+// Energy returns the task's total active energy under power model p.
+func (ts TaskStats) Energy(p PowerModel) float64 {
+	return (ts.MainTime + ts.BackupTime).Millis() * p.Active
+}
+
+// PerTask recomputes per-task statistics from a traced run. It requires
+// the run to have been simulated with Config.RecordTrace; without a trace
+// the execution-time fields are zero and only the outcome counts are
+// filled.
+func (r *Result) PerTask() []TaskStats {
+	n := len(r.Outcomes)
+	out := make([]TaskStats, n)
+	for i := range out {
+		out[i].TaskID = i
+		out[i].Released = len(r.Outcomes[i])
+		for _, ok := range r.Outcomes[i] {
+			if ok {
+				out[i].Effective++
+			} else {
+				out[i].Misses++
+			}
+		}
+		out[i].MKViolatedAt = -1
+		if i < len(r.ViolationAt) {
+			out[i].MKViolatedAt = r.ViolationAt[i]
+		}
+	}
+	for _, seg := range r.Trace {
+		d := seg.End - seg.Start
+		if seg.Copy == task.Main {
+			out[seg.TaskID].MainTime += d
+		} else {
+			out[seg.TaskID].BackupTime += d
+		}
+	}
+	return out
+}
+
+// PerTaskTable renders the attribution as a fixed-width table.
+func (r *Result) PerTaskTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %9s %6s %10s %11s %8s\n",
+		"task", "released", "effective", "misses", "main-exec", "backup-exec", "energy")
+	for _, ts := range r.PerTask() {
+		fmt.Fprintf(&b, "tau%-3d %8d %9d %6d %10v %11v %8.1f\n",
+			ts.TaskID+1, ts.Released, ts.Effective, ts.Misses,
+			ts.MainTime, ts.BackupTime, ts.Energy(r.Power))
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+// Package trace renders simulation traces as ASCII Gantt charts (the
+// format of the paper's Figures 1–5) and provides trace-level
+// verification helpers used by the integration tests: deadline compliance
+// and execution-interval sanity.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// Gantt renders the segments of a run as one ASCII lane per processor.
+// Each column is quantum wide (default: the GCD of all segment bounds,
+// floored at 100 µs). Executing segments print the task number, canceled
+// segments print 'x' on their final column, idle prints '.', and a lane
+// header labels the processor, e.g.:
+//
+//	primary |111222...111|
+//	spare   |..11x...222.|
+type Gantt struct {
+	// Quantum is the column width; zero picks one automatically.
+	Quantum timeu.Time
+	// Width caps the number of columns (0 = unlimited).
+	Width int
+}
+
+// Render draws the trace of r.
+func (g Gantt) Render(r *sim.Result) string {
+	quantum := g.Quantum
+	if quantum <= 0 {
+		quantum = autoQuantum(r)
+	}
+	cols := int(r.Horizon / quantum)
+	if r.Horizon%quantum != 0 {
+		cols++
+	}
+	if g.Width > 0 && cols > g.Width {
+		cols = g.Width
+	}
+	lanes := make([][]byte, sim.NumProcs)
+	for p := range lanes {
+		lanes[p] = []byte(strings.Repeat(".", cols))
+	}
+	for _, seg := range r.Trace {
+		lo := int(seg.Start / quantum)
+		hi := int(seg.End / quantum)
+		if seg.End%quantum != 0 {
+			hi++
+		}
+		for c := lo; c < hi && c < cols; c++ {
+			lanes[seg.Proc][c] = taskGlyph(seg.TaskID)
+		}
+		if seg.Canceled && hi-1 < cols && hi-1 >= 0 {
+			lanes[seg.Proc][hi-1] = 'x'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — horizon %v, quantum %v\n", r.Policy, r.Horizon, quantum)
+	names := [sim.NumProcs]string{"primary", "spare"}
+	for p := range lanes {
+		fmt.Fprintf(&b, "%-8s|%s|\n", names[p], lanes[p])
+	}
+	b.WriteString(axis(cols, quantum))
+	return b.String()
+}
+
+// taskGlyph maps task IDs to printable glyphs: 1-9 then a-z then '#'.
+func taskGlyph(id int) byte {
+	switch {
+	case id < 9:
+		return byte('1' + id)
+	case id < 9+26:
+		return byte('a' + id - 9)
+	default:
+		return '#'
+	}
+}
+
+// axis renders a sparse "column:time" tick line under the lanes.
+func axis(cols int, quantum timeu.Time) string {
+	step := cols / 8
+	if step < 1 {
+		step = 1
+	}
+	var marks []string
+	for c := 0; c <= cols; c += step {
+		t := timeu.Time(c) * quantum
+		marks = append(marks, fmt.Sprintf("%d:%v", c, t))
+	}
+	return "ticks: " + strings.Join(marks, "  ") + "\n"
+}
+
+// autoQuantum picks the largest quantum that aligns every segment
+// boundary, floored at 100 µs and capped at 1 ms for readability.
+func autoQuantum(r *sim.Result) timeu.Time {
+	q := timeu.Time(0)
+	for _, seg := range r.Trace {
+		q = timeu.GCD(q, seg.Start)
+		q = timeu.GCD(q, seg.End)
+	}
+	q = timeu.GCD(q, r.Horizon)
+	if q <= 0 {
+		return timeu.Millisecond
+	}
+	if q < 100*timeu.Microsecond {
+		q = 100 * timeu.Microsecond
+	}
+	if q > timeu.Millisecond {
+		q = timeu.Millisecond
+	}
+	return q
+}
+
+// Summarize prints one line per segment, ordered by start time then
+// processor — a compact textual alternative to the Gantt chart.
+func Summarize(r *sim.Result) string {
+	segs := append([]sim.Segment(nil), r.Trace...)
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].Proc < segs[j].Proc
+	})
+	names := [sim.NumProcs]string{"primary", "spare"}
+	var b strings.Builder
+	for _, s := range segs {
+		prime := ""
+		if s.Copy == task.Backup {
+			prime = "'"
+		}
+		note := ""
+		if s.Canceled {
+			note = " (canceled)"
+		}
+		fmt.Fprintf(&b, "[%v,%v) %-7s J%s%d,%d %s%s\n",
+			s.Start, s.End, names[s.Proc], prime, s.TaskID+1, s.Index, s.Class, note)
+	}
+	return b.String()
+}
+
+// Check verifies structural trace invariants and returns the violations
+// found (empty = clean):
+//   - segments on one processor never overlap;
+//   - no segment runs outside [release, deadline] of its job;
+//   - total executed time per job copy never exceeds its WCET.
+func Check(s *task.Set, r *sim.Result) []string {
+	var problems []string
+	type copyKey struct {
+		taskID, index int
+		copyKind      task.Copy
+	}
+	perProc := map[int][]sim.Segment{}
+	for _, seg := range r.Trace {
+		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
+	}
+	for p, segs := range perProc {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start < segs[i-1].End {
+				problems = append(problems, fmt.Sprintf(
+					"proc %d: segments overlap at %v", p, segs[i].Start))
+			}
+		}
+	}
+	exec := map[copyKey]timeu.Time{}
+	for _, seg := range r.Trace {
+		if seg.End <= seg.Start {
+			problems = append(problems, fmt.Sprintf("empty segment %+v", seg))
+			continue
+		}
+		t := s.Tasks[seg.TaskID]
+		release := t.Release(seg.Index)
+		deadline := t.AbsDeadline(seg.Index)
+		if seg.Start < release {
+			problems = append(problems, fmt.Sprintf(
+				"J%d,%d runs at %v before nominal release %v", seg.TaskID+1, seg.Index, seg.Start, release))
+		}
+		if seg.End > deadline {
+			problems = append(problems, fmt.Sprintf(
+				"J%d,%d runs at %v past deadline %v", seg.TaskID+1, seg.Index, seg.End, deadline))
+		}
+		k := copyKey{seg.TaskID, seg.Index, seg.Copy}
+		exec[k] += seg.End - seg.Start
+		if exec[k] > t.WCET {
+			problems = append(problems, fmt.Sprintf(
+				"J%d,%d %v executed %v > WCET %v", seg.TaskID+1, seg.Index, seg.Copy, exec[k], t.WCET))
+		}
+	}
+	return problems
+}

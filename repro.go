@@ -1,0 +1,284 @@
+// Package repro is the public API of this reproduction of
+//
+//	Linwei Niu, Dakai Zhu. "Reliable and Energy-Aware Fixed-Priority
+//	(m,k)-Deadlines Enforcement with Standby-Sparing". DATE 2020.
+//
+// It simulates a two-processor standby-sparing real-time system running
+// periodic task sets with (m,k)-firm deadlines under four fixed-priority
+// scheduling approaches — the static reference MKSS-ST, the dual-priority
+// baseline MKSS-DP, the greedy dynamic straw-man of §III, and the paper's
+// selective scheme (Algorithm 1) — with per-processor energy accounting,
+// dynamic power-down, and permanent/transient fault injection.
+//
+// Quick start:
+//
+//	set := repro.NewSet(
+//	    repro.NewTask(5, 4, 3, 2, 4),   // (P, D, C, m, k) in ms
+//	    repro.NewTask(10, 10, 3, 1, 2),
+//	)
+//	res, err := repro.Simulate(set, repro.Selective, repro.RunConfig{HorizonMS: 20})
+//	fmt.Println(res.ActiveEnergy()) // 12 — Figure 2 of the paper
+//
+// The heavy lifting lives in the internal packages (task, pattern, rta,
+// postpone, sim, core, fault, workload, experiment, trace); this package
+// re-exports the surface a downstream user needs.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/pattern"
+	"repro/internal/postpone"
+	"repro/internal/rta"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/timeu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The aliases give external code full access to
+// the underlying methods without importing internal packages.
+type (
+	// Task is one periodic task (Pi, Di, Ci, mi, ki).
+	Task = task.Task
+	// Set is a priority-ordered task set.
+	Set = task.Set
+	// Time is a simulation instant/duration in integer microseconds.
+	Time = timeu.Time
+	// Approach selects a scheduling scheme.
+	Approach = core.Approach
+	// Result is one simulation run's outcome.
+	Result = sim.Result
+	// PowerModel is the energy model (P_act, P_idle, P_sleep, T_be).
+	PowerModel = sim.PowerModel
+	// Scenario is a fault setting (NoFault, PermanentOnly, ...).
+	Scenario = fault.Scenario
+	// Report is a Figure-6 sweep report.
+	Report = experiment.Report
+	// SweepConfig parameterizes a Figure-6 sweep.
+	SweepConfig = experiment.Config
+)
+
+// The four approaches of the paper, plus the DP-background extension
+// (textbook dual-priority where backups also run before promotion).
+const (
+	ST           = core.ST
+	DP           = core.DP
+	Greedy       = core.Greedy
+	Selective    = core.Selective
+	DPBackground = core.DPBackground
+)
+
+// The three fault scenarios of Figure 6.
+const (
+	NoFault               = fault.NoFault
+	PermanentOnly         = fault.PermanentOnly
+	PermanentAndTransient = fault.PermanentAndTransient
+)
+
+// Millisecond re-exports the tick count of one millisecond.
+const Millisecond = timeu.Millisecond
+
+// NewTask builds a task from millisecond-valued (P, D, C) and the (m,k)
+// constraint. IDs are assigned by NewSet.
+func NewTask(periodMS, deadlineMS, wcetMS float64, m, k int) Task {
+	return task.New(0, periodMS, deadlineMS, wcetMS, m, k)
+}
+
+// NewSet builds a priority-ordered task set (first task = highest
+// priority).
+func NewSet(tasks ...Task) *Set { return task.NewSet(tasks...) }
+
+// RunConfig parameterizes Simulate. The zero value of every field picks
+// the paper's setting.
+type RunConfig struct {
+	// HorizonMS is the simulated duration in ms; zero uses the set's
+	// (m,k)-hyperperiod capped at 2000 ms.
+	HorizonMS float64
+	// Scenario injects faults (default NoFault); Seed makes the fault
+	// realization reproducible.
+	Scenario Scenario
+	Seed     uint64
+	// TransientRate overrides the transient fault rate (per ms of
+	// execution) when non-zero; the paper's value is 1e-6. Useful for
+	// demos and sensitivity studies.
+	TransientRate float64
+	// Power overrides the energy model (zero value = paper defaults:
+	// P_act=1, T_be=1ms).
+	Power PowerModel
+	// RecordTrace keeps per-segment execution history for GanttChart.
+	RecordTrace bool
+	// Options tunes the policies (ablations); zero value is the paper.
+	Options core.Options
+}
+
+// Simulate runs one task set under one approach.
+func Simulate(s *Set, a Approach, cfg RunConfig) (*Result, error) {
+	horizon := timeu.FromMillis(cfg.HorizonMS)
+	if horizon <= 0 {
+		horizon = s.MKHyperperiod(2000 * timeu.Millisecond)
+	}
+	plan := fault.NewPlan(cfg.Scenario, horizon, stats.NewRand(cfg.Seed))
+	if cfg.TransientRate > 0 {
+		plan.WithTransientRate(cfg.TransientRate)
+	}
+	policy, err := core.New(a, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.New(s, policy, sim.Config{
+		Power:       cfg.Power,
+		Horizon:     horizon,
+		Faults:      plan,
+		RecordTrace: cfg.RecordTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// GanttChart renders a traced run as an ASCII Gantt chart (one lane per
+// processor, as in the paper's Figures 1–5). The run must have been
+// simulated with RecordTrace.
+func GanttChart(r *Result) string { return trace.Gantt{}.Render(r) }
+
+// TraceSummary lists a traced run's execution segments, one per line.
+func TraceSummary(r *Result) string { return trace.Summarize(r) }
+
+// VerifyTrace checks structural invariants of a traced run (no
+// overlapping segments, no execution outside [release, deadline], no
+// WCET overrun) and returns human-readable violations (empty = clean).
+func VerifyTrace(s *Set, r *Result) []string { return trace.Check(s, r) }
+
+// Figure6 runs the paper's Figure 6 sweep for one scenario with the
+// paper's parameters. Use Sweep for full control.
+func Figure6(sc Scenario) (*Report, error) {
+	return experiment.Run(experiment.DefaultConfig(sc))
+}
+
+// Sweep runs a fully customized utilization sweep.
+func Sweep(cfg SweepConfig) (*Report, error) { return experiment.Run(cfg) }
+
+// DefaultSweepConfig returns the paper's Figure 6 configuration for a
+// scenario, ready for customization.
+func DefaultSweepConfig(sc Scenario) SweepConfig { return experiment.DefaultConfig(sc) }
+
+// PromotionTimes returns the dual-priority promotion intervals
+// Yi = Di − Ri (Eq. 2), with Yi = 0 for tasks whose response time
+// analysis diverges.
+func PromotionTimes(s *Set) []Time { return rta.PromotionTimesSafe(s) }
+
+// PostponementIntervals runs the offline analysis of Definitions 2–5 and
+// returns the per-task backup release postponement intervals θi.
+func PostponementIntervals(s *Set) ([]Time, error) {
+	an, err := postpone.Compute(s, postpone.Options{Pattern: pattern.RPattern})
+	if err != nil {
+		return nil, err
+	}
+	return an.Theta, nil
+}
+
+// VerifyPostponement recomputes the θ analysis and checks, by exact
+// simulation of the spare processor's backup schedule over horizonMS
+// milliseconds, that every postponed backup job still meets its deadline
+// (Theorem 1's backup half). It returns human-readable violations; nil
+// means the postponement is safe over the horizon.
+func VerifyPostponement(s *Set, horizonMS float64) ([]string, error) {
+	an, err := postpone.Compute(s, postpone.Options{Pattern: pattern.RPattern})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, v := range an.Verify(s, pattern.RPattern, timeu.FromMillis(horizonMS)) {
+		out = append(out, v.String())
+	}
+	return out, nil
+}
+
+// RPatternSchedulable reports whether the set's mandatory jobs under the
+// static R-pattern meet all deadlines (the premise of Theorem 1).
+func RPatternSchedulable(s *Set) bool {
+	return rta.SchedulableRPattern(s, pattern.RPattern, 10*timeu.Second)
+}
+
+// GenerateTaskSets draws schedulable task sets per the §V protocol with
+// total (m,k)-utilization in [lo, hi).
+func GenerateTaskSets(lo, hi float64, count int, seed uint64) []*Set {
+	gen := workload.NewGenerator(workload.DefaultConfig(), seed)
+	res := gen.GenerateInterval(workload.Interval{Lo: lo, Hi: hi}, count, 5000*count)
+	return res.Sets
+}
+
+// TaskSpec / SetSpec are the JSON schema accepted by LoadSet (and the
+// mksim command):
+//
+//	{"tasks": [{"period_ms":5, "deadline_ms":4, "wcet_ms":3, "m":2, "k":4}, ...]}
+type TaskSpec struct {
+	Name       string  `json:"name,omitempty"`
+	PeriodMS   float64 `json:"period_ms"`
+	DeadlineMS float64 `json:"deadline_ms,omitempty"` // default: period
+	WCETMS     float64 `json:"wcet_ms"`
+	M          int     `json:"m"`
+	K          int     `json:"k"`
+}
+
+// SetSpec is the top-level JSON document.
+type SetSpec struct {
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// LoadSet parses a JSON task-set spec.
+func LoadSet(r io.Reader) (*Set, error) {
+	var spec SetSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("repro: parse set: %w", err)
+	}
+	if len(spec.Tasks) == 0 {
+		return nil, fmt.Errorf("repro: set has no tasks")
+	}
+	ts := make([]Task, len(spec.Tasks))
+	for i, sp := range spec.Tasks {
+		d := sp.DeadlineMS
+		if d == 0 {
+			d = sp.PeriodMS
+		}
+		ts[i] = task.New(i, sp.PeriodMS, d, sp.WCETMS, sp.M, sp.K)
+		ts[i].Name = sp.Name
+	}
+	s := NewSet(ts...)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return s, nil
+}
+
+// Approaches lists every implemented approach.
+func Approaches() []Approach { return core.Approaches() }
+
+// ParseApproach maps a CLI name ("st", "dp", "greedy", "selective") to an
+// Approach.
+func ParseApproach(name string) (Approach, error) {
+	switch name {
+	case "st", "ST", "MKSS-ST":
+		return ST, nil
+	case "dp", "DP", "MKSS-DP":
+		return DP, nil
+	case "greedy", "MKSS-greedy":
+		return Greedy, nil
+	case "selective", "sel", "MKSS-selective":
+		return Selective, nil
+	case "dp-background", "dpbg", "MKSS-DP-background":
+		return DPBackground, nil
+	}
+	return 0, fmt.Errorf("repro: unknown approach %q (want st|dp|greedy|selective|dp-background)", name)
+}
