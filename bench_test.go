@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/core"
@@ -137,6 +138,45 @@ func BenchmarkSelectiveDispatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObservability guards the observability layer's hot-path cost:
+// "baseline" is the plain simulation (counters only, no sink — this must
+// stay indistinguishable from the pre-metrics engine), "collector" and
+// "jsonl" attach the two stock sinks. Compare ns/op and allocs/op of
+// baseline against the sink variants to see the cost of observation;
+// baseline regressions here mean the no-sink guard broke.
+func BenchmarkObservability(b *testing.B) {
+	s := motivationSet()
+	cfg := RunConfig{HorizonMS: 500}
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Simulate(s, Selective, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := cfg
+			cfg.Sink = NewEventCollector()
+			if _, err := Simulate(s, Selective, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := cfg
+			cfg.Sink = NewJSONLSink(io.Discard)
+			if _, err := Simulate(s, Selective, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Ablation benches: each reruns the reduced Figure 6(a) sweep with one

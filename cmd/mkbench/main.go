@@ -9,8 +9,14 @@
 //	mkbench -fig 6c                  # perm+transient (paper Fig. 6c)
 //	mkbench -fig all -sets 20 -csv out/   # everything, CSVs for plotting
 //	mkbench -fig 6a -greedy          # include the §III greedy straw-man
+//	mkbench -fig 6a -json            # also write BENCH_6a.json
+//	mkbench -fig 6a -sets 3 -json -jsonout BENCH_ci.json   # CI smoke
 //
-// Reducing -sets and -candidates trades fidelity for speed.
+// -json emits the versioned machine-readable document (schema
+// "mkss-bench/v1"): the per-interval normalized-energy series plus the
+// aggregated observability counters and the sweep's wall-clock time,
+// suitable for tracking across commits. Reducing -sets and -candidates
+// trades fidelity for speed.
 package main
 
 import (
@@ -33,6 +39,8 @@ func main() {
 		candidates = flag.Int("candidates", 5000, "max candidates per interval")
 		seed       = flag.Uint64("seed", 2020, "master seed")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
+		jsonOut    = flag.Bool("json", false, "write the versioned BENCH_<fig>.json document per figure")
+		jsonPath   = flag.String("jsonout", "", "override the BENCH JSON path (single figure only; implies -json)")
 		withGreedy = flag.Bool("greedy", false, "also run the §III greedy straw-man")
 		loU        = flag.Float64("lo", 0.1, "lowest utilization bound")
 		hiU        = flag.Float64("hi", 1.0, "highest utilization bound")
@@ -54,6 +62,13 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: mkbench -fig 6a|6b|6c|all")
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		*jsonOut = true
+		if len(order) > 1 {
+			fmt.Fprintln(os.Stderr, "mkbench: -jsonout needs a single figure (use -fig 6a|6b|6c)")
+			os.Exit(2)
+		}
 	}
 
 	for _, name := range order {
@@ -77,8 +92,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(t0)
 		fmt.Print(rep.Table())
-		fmt.Printf("(figure %s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(figure %s finished in %v)\n\n", name, elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			path := *jsonPath
+			if path == "" {
+				dir := *csvDir
+				if dir == "" {
+					dir = "."
+				} else if err := os.MkdirAll(dir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+					os.Exit(1)
+				}
+				path = filepath.Join(dir, "BENCH_"+name+".json")
+			}
+			data, err := rep.BenchJSON(name, cfg, elapsed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)

@@ -6,13 +6,16 @@
 //	mksim -set tasks.json -approach selective -horizon 100 -gantt
 //	mksim -demo -approach dp        # the paper's §III example set
 //	mksim -set tasks.json -approach selective -scenario permanent -seed 7
+//	mksim -demo -json               # machine-readable run report on stdout
+//	mksim -demo -events run.jsonl   # structured event trace (JSONL)
 //
-// The JSON schema:
+// The task-set JSON schema:
 //
 //	{"tasks": [{"period_ms":5, "deadline_ms":4, "wcet_ms":3, "m":2, "k":4}]}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,32 +23,48 @@ import (
 	"repro"
 )
 
+// options collects the parsed flags.
+type options struct {
+	setPath   string
+	demo      bool
+	approach  string
+	horizonMS float64
+	scenario  string
+	seed      uint64
+	gantt     bool
+	segments  bool
+	perTask   bool
+	jsonOut   bool
+	events    string
+}
+
 func main() {
-	var (
-		setPath   = flag.String("set", "", "path to a JSON task-set spec")
-		demo      = flag.Bool("demo", false, "use the paper's §III example set instead of -set")
-		approach  = flag.String("approach", "selective", "st | dp | greedy | selective | dp-background")
-		horizonMS = flag.Float64("horizon", 0, "simulated ms (0 = one (m,k)-hyperperiod, capped at 2000)")
-		scenario  = flag.String("scenario", "none", "fault scenario: none | permanent | permanent+transient")
-		seed      = flag.Uint64("seed", 1, "fault realization seed")
-		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
-		segments  = flag.Bool("segments", false, "print every execution segment")
-		perTask   = flag.Bool("pertask", false, "print per-task energy/outcome attribution")
-	)
+	var o options
+	flag.StringVar(&o.setPath, "set", "", "path to a JSON task-set spec")
+	flag.BoolVar(&o.demo, "demo", false, "use the paper's §III example set instead of -set")
+	flag.StringVar(&o.approach, "approach", "selective", "st | dp | greedy | selective | dp-background")
+	flag.Float64Var(&o.horizonMS, "horizon", 0, "simulated ms (0 = one (m,k)-hyperperiod, capped at 2000)")
+	flag.StringVar(&o.scenario, "scenario", "none", "fault scenario: none | permanent | permanent+transient")
+	flag.Uint64Var(&o.seed, "seed", 1, "fault realization seed")
+	flag.BoolVar(&o.gantt, "gantt", false, "print an ASCII Gantt chart")
+	flag.BoolVar(&o.segments, "segments", false, "print every execution segment")
+	flag.BoolVar(&o.perTask, "pertask", false, "print per-task energy/outcome attribution")
+	flag.BoolVar(&o.jsonOut, "json", false, "print a machine-readable run report (schema mkss-run/v1) instead of text")
+	flag.StringVar(&o.events, "events", "", "write the structured event trace as JSONL to this file")
 	flag.Parse()
-	if err := run(*setPath, *demo, *approach, *horizonMS, *scenario, *seed, *gantt || *perTask, *segments, *perTask); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mksim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(setPath string, demo bool, approach string, horizonMS float64, scenario string, seed uint64, trace, segments, perTask bool) error {
+func run(o options) error {
 	var s *repro.Set
 	switch {
-	case demo:
+	case o.demo:
 		s = repro.NewSet(repro.NewTask(5, 4, 3, 2, 4), repro.NewTask(10, 10, 3, 1, 2))
-	case setPath != "":
-		f, err := os.Open(setPath)
+	case o.setPath != "":
+		f, err := os.Open(o.setPath)
 		if err != nil {
 			return err
 		}
@@ -58,12 +77,12 @@ func run(setPath string, demo bool, approach string, horizonMS float64, scenario
 		return fmt.Errorf("need -set FILE or -demo")
 	}
 
-	a, err := repro.ParseApproach(approach)
+	a, err := repro.ParseApproach(o.approach)
 	if err != nil {
 		return err
 	}
 	var sc repro.Scenario
-	switch scenario {
+	switch o.scenario {
 	case "none", "":
 		sc = repro.NoFault
 	case "permanent":
@@ -71,23 +90,47 @@ func run(setPath string, demo bool, approach string, horizonMS float64, scenario
 	case "permanent+transient", "both":
 		sc = repro.PermanentAndTransient
 	default:
-		return fmt.Errorf("unknown scenario %q", scenario)
+		return fmt.Errorf("unknown scenario %q", o.scenario)
 	}
 
-	fmt.Printf("task set (total utilization %.3f, (m,k)-utilization %.3f):\n%s\n",
-		s.Utilization(), s.MKUtilization(), s)
-	if !repro.RPatternSchedulable(s) {
-		fmt.Println("warning: set is NOT R-pattern schedulable; (m,k)-deadlines are not guaranteed")
+	schedulable := repro.RPatternSchedulable(s)
+	trace := o.gantt || o.perTask
+	if !o.jsonOut {
+		fmt.Printf("task set (total utilization %.3f, (m,k)-utilization %.3f):\n%s\n",
+			s.Utilization(), s.MKUtilization(), s)
+		if !schedulable {
+			fmt.Println("warning: set is NOT R-pattern schedulable; (m,k)-deadlines are not guaranteed")
+		}
 	}
 
-	res, err := repro.Simulate(s, a, repro.RunConfig{
-		HorizonMS:   horizonMS,
+	cfg := repro.RunConfig{
+		HorizonMS:   o.horizonMS,
 		Scenario:    sc,
-		Seed:        seed,
-		RecordTrace: trace || segments,
-	})
+		Seed:        o.seed,
+		RecordTrace: trace || o.segments,
+	}
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink := repro.NewJSONLSink(f)
+		cfg.Sink = sink
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "mksim: event sink: %v\n", err)
+			}
+		}()
+	}
+
+	res, err := repro.Simulate(s, a, cfg)
 	if err != nil {
 		return err
+	}
+
+	if o.jsonOut {
+		return writeJSON(res, sc, o.seed, schedulable)
 	}
 
 	fmt.Printf("\n%s over %v (%s):\n", res.Policy, res.Horizon, sc)
@@ -120,13 +163,57 @@ func run(setPath string, demo bool, approach string, horizonMS float64, scenario
 		fmt.Println()
 		fmt.Print(repro.GanttChart(res))
 	}
-	if perTask {
+	if o.perTask {
 		fmt.Println()
 		fmt.Print(res.PerTaskTable())
 	}
-	if segments {
+	if o.segments {
 		fmt.Println()
 		fmt.Print(repro.TraceSummary(res))
 	}
 	return nil
+}
+
+// runJSON is the -json report: one simulation, machine-readable. Version
+// the schema string on any incompatible change.
+type runJSON struct {
+	Schema        string         `json:"schema"`
+	Policy        string         `json:"policy"`
+	Scenario      string         `json:"scenario"`
+	Seed          uint64         `json:"seed"`
+	HorizonUS     int64          `json:"horizon_us"`
+	Schedulable   bool           `json:"r_pattern_schedulable"`
+	ActiveEnergy  float64        `json:"active_energy"`
+	TotalEnergy   float64        `json:"total_energy"`
+	MKSatisfied   bool           `json:"mk_satisfied"`
+	ViolationAt   []int          `json:"violation_at"`
+	Counters      repro.Counters `json:"counters"`
+	PermanentAtUS int64          `json:"permanent_fault_at_us,omitempty"`
+	PermanentProc int            `json:"permanent_fault_proc,omitempty"`
+}
+
+func writeJSON(res *repro.Result, sc repro.Scenario, seed uint64, schedulable bool) error {
+	doc := runJSON{
+		Schema:       "mkss-run/v1",
+		Policy:       res.Policy,
+		Scenario:     sc.String(),
+		Seed:         seed,
+		HorizonUS:    int64(res.Horizon),
+		Schedulable:  schedulable,
+		ActiveEnergy: res.ActiveEnergy(),
+		TotalEnergy:  res.TotalEnergy(),
+		MKSatisfied:  res.MKSatisfied(),
+		ViolationAt:  res.ViolationAt,
+		Counters:     res.Counters,
+	}
+	if pf := res.PermanentFault; pf != nil {
+		doc.PermanentAtUS = int64(pf.At)
+		doc.PermanentProc = pf.Proc
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(data))
+	return err
 }

@@ -11,11 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -49,7 +51,7 @@ type Config struct {
 	// HorizonCap. Defaults: 500 ms and 2 s.
 	MinHorizon timeu.Time
 	HorizonCap timeu.Time
-	// Workers bounds simulation parallelism (0 = 4).
+	// Workers bounds simulation parallelism (0 = runtime.NumCPU()).
 	Workers int
 	// Progress, when non-nil, receives one line per finished interval.
 	Progress io.Writer
@@ -67,7 +69,6 @@ func DefaultConfig(sc fault.Scenario) Config {
 		Workload:        workload.DefaultConfig(),
 		MinHorizon:      500 * timeu.Millisecond,
 		HorizonCap:      2 * timeu.Second,
-		Workers:         4,
 	}
 }
 
@@ -81,6 +82,10 @@ type SetResult struct {
 	Norm   map[core.Approach]float64
 	// Violated[a] reports an (m,k) violation under approach a.
 	Violated map[core.Approach]bool
+	// Counters[a] is the run's observability counters under approach a
+	// (the per-mechanism accounting behind the energy number: backup
+	// cancellations, demotions, DPD sleeps, ...).
+	Counters map[core.Approach]metrics.Counters
 }
 
 // Row aggregates one utilization interval.
@@ -94,6 +99,12 @@ type Row struct {
 	NormCI   map[core.Approach]float64
 	// Violations[a] counts sets with (m,k) violations.
 	Violations map[core.Approach]int
+	// Counters[a] sums the interval's run counters per approach, and
+	// HorizonTotal the corresponding simulated horizons, so invariants
+	// like busy+idle+sleep+dead = horizon × processors stay checkable on
+	// the aggregate.
+	Counters     map[core.Approach]metrics.Counters
+	HorizonTotal timeu.Time
 }
 
 // Report is a full sweep.
@@ -127,7 +138,7 @@ func Run(cfg Config) (*Report, error) {
 		cfg.HorizonCap = 2 * timeu.Second
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = 4
+		cfg.Workers = runtime.NumCPU()
 	}
 	approaches := ensureST(cfg.Approaches)
 
@@ -141,6 +152,7 @@ func Run(cfg Config) (*Report, error) {
 			NormMean:   map[core.Approach]float64{},
 			NormCI:     map[core.Approach]float64{},
 			Violations: map[core.Approach]int{},
+			Counters:   map[core.Approach]metrics.Counters{},
 		}
 		results := make([]SetResult, len(batch.Sets))
 		var wg sync.WaitGroup
@@ -189,6 +201,7 @@ func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint6
 		Active:   map[core.Approach]float64{},
 		Norm:     map[core.Approach]float64{},
 		Violated: map[core.Approach]bool{},
+		Counters: map[core.Approach]metrics.Counters{},
 	}
 	for _, a := range approaches {
 		// Each approach re-draws the same plan from the same seed, so the
@@ -214,6 +227,7 @@ func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint6
 		}
 		sr.Active[a] = res.ActiveEnergy()
 		sr.Violated[a] = !res.MKSatisfied()
+		sr.Counters[a] = res.Counters
 	}
 	ref := sr.Active[core.ST]
 	for _, a := range approaches {
@@ -249,14 +263,20 @@ func simHorizon(s *task.Set, minH, capH timeu.Time) timeu.Time {
 func aggregate(row *Row, approaches []core.Approach) {
 	for _, a := range approaches {
 		var sample stats.Sample
+		var sum metrics.Counters
 		for _, sr := range row.Sets {
 			sample.Add(sr.Norm[a])
 			if sr.Violated[a] {
 				row.Violations[a]++
 			}
+			sum = sum.Add(sr.Counters[a])
 		}
 		row.NormMean[a] = sample.Mean()
 		row.NormCI[a] = sample.CI95()
+		row.Counters[a] = sum
+	}
+	for _, sr := range row.Sets {
+		row.HorizonTotal += sr.Horizon
 	}
 }
 

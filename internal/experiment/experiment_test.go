@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -69,6 +70,72 @@ func TestRunDeterminism(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestWorkersDefaultNumCPU pins the Workers=0 default to the machine's
+// core count (the hardcoded 4 it replaced under-used larger hosts).
+func TestWorkersDefaultNumCPU(t *testing.T) {
+	cfg := DefaultConfig(fault.NoFault)
+	if cfg.Workers != 0 {
+		t.Fatalf("DefaultConfig.Workers = %d, want 0 (auto)", cfg.Workers)
+	}
+	// Run normalizes in place on its copy; verify via the observable
+	// behavior instead: a zero-Workers sweep must succeed and match an
+	// explicit runtime.NumCPU() sweep exactly.
+	auto := smallConfig(fault.NoFault)
+	auto.Workers = 0
+	explicit := smallConfig(fault.NoFault)
+	explicit.Workers = runtime.NumCPU()
+	a, err := Run(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aj, bj := mustJSON(t, a), mustJSON(t, b); aj != bj {
+		t.Errorf("Workers=0 sweep differs from Workers=NumCPU sweep:\n%s\n---\n%s", aj, bj)
+	}
+}
+
+// TestWorkersInvariance is the satellite gate for the Workers fix: the
+// sweep result (series and counters) must be identical for one worker
+// and many, given the same seed — parallelism must never leak into the
+// numbers.
+func TestWorkersInvariance(t *testing.T) {
+	run := func(workers int) *Report {
+		t.Helper()
+		cfg := smallConfig(fault.PermanentAndTransient)
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(8)
+	if a, b := mustJSON(t, serial), mustJSON(t, parallel); a != b {
+		t.Fatalf("aggregates differ between Workers=1 and Workers=8:\n%s\n---\n%s", a, b)
+	}
+	for i := range serial.Rows {
+		for _, ap := range serial.Approaches {
+			if serial.Rows[i].Counters[ap] != parallel.Rows[i].Counters[ap] {
+				t.Errorf("interval %d approach %v: counters differ:\n%+v\n%+v",
+					i, ap, serial.Rows[i].Counters[ap], parallel.Rows[i].Counters[ap])
+			}
+		}
+	}
+}
+
+func mustJSON(t *testing.T, r *Report) string {
+	t.Helper()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }
 
 func TestEnsureST(t *testing.T) {

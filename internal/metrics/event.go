@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/timeu"
+)
+
+// EventKind enumerates the engine's observable transitions.
+type EventKind uint8
+
+const (
+	// EvRelease: a logical job J_ij released (before classification).
+	EvRelease EventKind = iota
+	// EvAdmit: a job copy entered a processor's queue.
+	EvAdmit
+	// EvSkip: the policy skipped an optional job at release.
+	EvSkip
+	// EvDispatch: a copy started or resumed executing on a processor.
+	EvDispatch
+	// EvPreempt: a partially executed copy was displaced.
+	EvPreempt
+	// EvComplete: a copy ran its demand to zero (note "faulty" when a
+	// transient fault struck it).
+	EvComplete
+	// EvCancel: a pending/running copy was removed (note says why:
+	// "sibling-effective", "deadline", or "permanent-fault").
+	EvCancel
+	// EvSettle: a logical job's outcome entered the (m,k) history.
+	EvSettle
+	// EvSleep: a processor entered the DPD low-power state.
+	EvSleep
+	// EvWake: a processor left the DPD low-power state.
+	EvWake
+	// EvPermanentFault: a processor died; the survivor takes over.
+	EvPermanentFault
+)
+
+var eventKindNames = [...]string{
+	EvRelease:        "release",
+	EvAdmit:          "admit",
+	EvSkip:           "skip",
+	EvDispatch:       "dispatch",
+	EvPreempt:        "preempt",
+	EvComplete:       "complete",
+	EvCancel:         "cancel",
+	EvSettle:         "settle",
+	EvSleep:          "sleep",
+	EvWake:           "wake",
+	EvPermanentFault: "permanent-fault",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Copy codes for Event.Copy (the engine converts from task.Copy).
+const (
+	CopyNone   = -1
+	CopyMain   = 0
+	CopyBackup = 1
+)
+
+// Event is one structured observation. Fields that do not apply to a
+// kind carry -1 (Proc, TaskID, Copy) or zero (Index) and are omitted
+// from the JSONL encoding. Events are passed by value so that emitting
+// with no sink attached allocates nothing.
+type Event struct {
+	// T is the simulation instant in microsecond ticks.
+	T timeu.Time
+	// Kind is the transition observed.
+	Kind EventKind
+	// Proc is the processor involved (-1 when not processor-scoped).
+	Proc int
+	// TaskID and Index identify the logical job J_ij (TaskID is 0-based,
+	// Index 1-based, matching the engine's convention).
+	TaskID int
+	Index  int
+	// Copy is CopyMain/CopyBackup, or CopyNone for job-level events.
+	Copy int
+	// OK is the settlement outcome (EvSettle only).
+	OK bool
+	// Note is a short static annotation (e.g. a cancellation reason).
+	// Implementations may assume it needs no JSON escaping.
+	Note string
+}
+
+// appendJSON encodes ev as one JSON object (no trailing newline) into b,
+// hand-rolled so the JSONL sink does not allocate per event.
+func (ev Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"t_us":`...)
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Proc >= 0 {
+		b = append(b, `,"proc":`...)
+		b = strconv.AppendInt(b, int64(ev.Proc), 10)
+	}
+	if ev.TaskID >= 0 {
+		b = append(b, `,"task":`...)
+		b = strconv.AppendInt(b, int64(ev.TaskID), 10)
+	}
+	if ev.Index > 0 {
+		b = append(b, `,"index":`...)
+		b = strconv.AppendInt(b, int64(ev.Index), 10)
+	}
+	switch ev.Copy {
+	case CopyMain:
+		b = append(b, `,"copy":"main"`...)
+	case CopyBackup:
+		b = append(b, `,"copy":"backup"`...)
+	}
+	if ev.Kind == EvSettle {
+		if ev.OK {
+			b = append(b, `,"ok":true`...)
+		} else {
+			b = append(b, `,"ok":false`...)
+		}
+	}
+	if ev.Note != "" {
+		b = append(b, `,"note":"`...)
+		b = append(b, ev.Note...)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// Sink receives the engine's structured events. Emit is called on the
+// simulator's hot path: implementations should buffer and must not retain
+// references derived from the event beyond the call.
+type Sink interface {
+	Emit(Event)
+	// Flush forces buffered events out (end of run).
+	Flush() error
+}
+
+// Collector is a Sink that retains every event in memory, for tests and
+// small interactive runs.
+type Collector struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) { c.Events = append(c.Events, ev) }
+
+// Flush implements Sink.
+func (c *Collector) Flush() error { return nil }
+
+// Count returns how many collected events have the given kind.
+func (c *Collector) Count(kind EventKind) int {
+	n := 0
+	for _, ev := range c.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

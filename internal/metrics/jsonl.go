@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+)
+
+// JSONL is a buffered Sink that writes one JSON object per line. The
+// line buffer is reused across events, so steady-state emission does not
+// allocate; errors are sticky and surfaced by Flush.
+//
+//	f, _ := os.Create("events.jsonl")
+//	sink := metrics.NewJSONL(f)
+//	... run the simulation with Config.Sink = sink ...
+//	err := sink.Flush()
+type JSONL struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL wraps w in a buffered JSONL sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = ev.appendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Flush implements Sink, draining the buffer and reporting the first
+// write error encountered.
+func (s *JSONL) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

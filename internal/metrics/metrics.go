@@ -1,0 +1,167 @@
+// Package metrics is the simulator's observability layer: cheap run
+// counters the engine maintains unconditionally, and an optional
+// structured-event sink it emits into at every dispatch, settlement,
+// cancellation, takeover and power-state transition.
+//
+// The two halves serve different consumers. Counters are a flat,
+// comparable struct aggregated across runs by the experiment harness and
+// exported in the machine-readable BENCH_*.json documents that CI tracks
+// across PRs. Events are a high-resolution trace for debugging a single
+// run ("why was this backup cancelled at t=14ms?"); when no Sink is
+// attached the engine's hot path performs no event work and no
+// allocations.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/timeu"
+)
+
+// NumProcs mirrors the standby-sparing architecture (primary + spare).
+// sim.NumProcs asserts equality at compile time.
+const NumProcs = 2
+
+// ProcTime partitions one processor's accounted time over a run. The four
+// states are mutually exclusive, so Busy+Idle+Sleep+Dead equals the run's
+// horizon for every processor.
+type ProcTime struct {
+	Busy  timeu.Time `json:"busy_us"`
+	Idle  timeu.Time `json:"idle_us"`
+	Sleep timeu.Time `json:"sleep_us"`
+	Dead  timeu.Time `json:"dead_us"`
+}
+
+// Add accumulates another breakdown (aggregation across runs).
+func (p ProcTime) Add(o ProcTime) ProcTime {
+	return ProcTime{
+		Busy:  p.Busy + o.Busy,
+		Idle:  p.Idle + o.Idle,
+		Sleep: p.Sleep + o.Sleep,
+		Dead:  p.Dead + o.Dead,
+	}
+}
+
+// Span returns the total accounted time.
+func (p ProcTime) Span() timeu.Time { return p.Busy + p.Idle + p.Sleep + p.Dead }
+
+// Counters aggregates one run's statistics (or, via Add, many runs').
+// The struct stays comparable (no slices/maps) so results can be checked
+// with == in tests; the JSON tags are the stable names used by the
+// BENCH_*.json schema.
+type Counters struct {
+	// Job accounting: every released job is classified exactly once
+	// (mandatory, selected optional, or skipped optional) and settled
+	// exactly once (effective or miss).
+	Released         int `json:"released"`
+	MandatoryJobs    int `json:"mandatory_jobs"`
+	OptionalSelected int `json:"optional_selected"`
+	OptionalSkipped  int `json:"optional_skipped"`
+	// Demotions counts would-be mandatory jobs (per the static pattern)
+	// the dynamic schemes demoted to optional/skipped after a successful
+	// optional execution (Algorithm 1's dynamic-pattern play).
+	Demotions int `json:"demotions"`
+	Effective int `json:"effective"`
+	Misses    int `json:"misses"`
+
+	// Standby-sparing accounting: backups created on the spare, backups
+	// cancelled before running a single tick (clean — the θ-postponement
+	// payoff of Defs. 2–5) or mid-execution (partial), and jobs rescued
+	// by a backup after the main copy failed.
+	BackupsCreated         int `json:"backups_created"`
+	BackupsCanceledClean   int `json:"backups_canceled_clean"`
+	BackupsCanceledPartial int `json:"backups_canceled_partial"`
+	BackupRecoveries       int `json:"backup_recoveries"`
+
+	// Scheduler mechanics: copy dispatches (start or resume on a
+	// processor), preemptions of partially executed copies, and copy
+	// completions (including faulty ones).
+	Dispatches  int `json:"dispatches"`
+	Preemptions int `json:"preemptions"`
+	Completions int `json:"completions"`
+
+	// Power management: DPD transitions into the low-power state and
+	// wake-ups out of it.
+	SleepEntries int `json:"sleep_entries"`
+	Wakeups      int `json:"wakeups"`
+
+	// Fault accounting.
+	TransientFaults int `json:"transient_faults"`
+	PermanentFaults int `json:"permanent_faults"`
+
+	// Proc is the per-processor time partition ([0] primary, [1] spare).
+	Proc [NumProcs]ProcTime `json:"proc"`
+}
+
+// Add accumulates another run's counters (aggregation in the experiment
+// harness).
+func (c Counters) Add(o Counters) Counters {
+	c.Released += o.Released
+	c.MandatoryJobs += o.MandatoryJobs
+	c.OptionalSelected += o.OptionalSelected
+	c.OptionalSkipped += o.OptionalSkipped
+	c.Demotions += o.Demotions
+	c.Effective += o.Effective
+	c.Misses += o.Misses
+	c.BackupsCreated += o.BackupsCreated
+	c.BackupsCanceledClean += o.BackupsCanceledClean
+	c.BackupsCanceledPartial += o.BackupsCanceledPartial
+	c.BackupRecoveries += o.BackupRecoveries
+	c.Dispatches += o.Dispatches
+	c.Preemptions += o.Preemptions
+	c.Completions += o.Completions
+	c.SleepEntries += o.SleepEntries
+	c.Wakeups += o.Wakeups
+	c.TransientFaults += o.TransientFaults
+	c.PermanentFaults += o.PermanentFaults
+	for p := range c.Proc {
+		c.Proc[p] = c.Proc[p].Add(o.Proc[p])
+	}
+	return c
+}
+
+// CheckInvariants verifies the structural identities every run (or sum of
+// runs) under the paper's policies must satisfy, given the total simulated
+// horizon (summed across runs when c is an aggregate). It returns
+// human-readable violations; nil means the counters are consistent.
+//
+// The classification identity (mandatory + selected + skipped = released)
+// assumes the policy classifies every release through the engine's
+// documented calls, which all four paper approaches do.
+func (c Counters) CheckInvariants(horizon timeu.Time) []string {
+	var out []string
+	bad := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	if got := c.Effective + c.Misses; got != c.Released {
+		bad("settlement: effective(%d) + misses(%d) = %d, want released(%d)", c.Effective, c.Misses, got, c.Released)
+	}
+	if got := c.MandatoryJobs + c.OptionalSelected + c.OptionalSkipped; got != c.Released {
+		bad("classification: mandatory(%d) + selected(%d) + skipped(%d) = %d, want released(%d)",
+			c.MandatoryJobs, c.OptionalSelected, c.OptionalSkipped, got, c.Released)
+	}
+	if canceled := c.BackupsCanceledClean + c.BackupsCanceledPartial; canceled > c.BackupsCreated {
+		bad("backups: canceled(%d) > created(%d)", canceled, c.BackupsCreated)
+	}
+	if c.BackupsCreated > c.MandatoryJobs {
+		bad("backups: created(%d) > mandatory releases(%d)", c.BackupsCreated, c.MandatoryJobs)
+	}
+	if c.BackupRecoveries > c.Effective {
+		bad("backups: recoveries(%d) > effective(%d)", c.BackupRecoveries, c.Effective)
+	}
+	if c.TransientFaults > c.Completions {
+		bad("faults: transient(%d) > completions(%d)", c.TransientFaults, c.Completions)
+	}
+	if c.Preemptions > c.Dispatches {
+		bad("dispatch: preemptions(%d) > dispatches(%d)", c.Preemptions, c.Dispatches)
+	}
+	if c.Wakeups > c.SleepEntries {
+		bad("power: wakeups(%d) > sleep entries(%d)", c.Wakeups, c.SleepEntries)
+	}
+	for p, pt := range c.Proc {
+		if pt.Span() != horizon {
+			bad("proc %d: busy(%v) + idle(%v) + sleep(%v) + dead(%v) = %v, want horizon(%v)",
+				p, pt.Busy, pt.Idle, pt.Sleep, pt.Dead, pt.Span(), horizon)
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/timeu"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Released: 3, Effective: 2, Misses: 1, MandatoryJobs: 2, OptionalSkipped: 1}
+	a.Proc[0] = ProcTime{Busy: 10, Idle: 5}
+	b := Counters{Released: 1, Effective: 1, MandatoryJobs: 1, BackupsCreated: 1}
+	b.Proc[0] = ProcTime{Sleep: 7}
+	b.Proc[1] = ProcTime{Dead: 2}
+
+	sum := a.Add(b)
+	if sum.Released != 4 || sum.Effective != 3 || sum.Misses != 1 {
+		t.Errorf("Add: got %+v", sum)
+	}
+	if sum.Proc[0] != (ProcTime{Busy: 10, Idle: 5, Sleep: 7}) {
+		t.Errorf("Proc[0] = %+v", sum.Proc[0])
+	}
+	if sum.Proc[1] != (ProcTime{Dead: 2}) {
+		t.Errorf("Proc[1] = %+v", sum.Proc[1])
+	}
+}
+
+func TestCheckInvariantsClean(t *testing.T) {
+	c := Counters{
+		Released: 5, MandatoryJobs: 3, OptionalSelected: 1, OptionalSkipped: 1,
+		Effective: 4, Misses: 1,
+		BackupsCreated: 3, BackupsCanceledClean: 2, BackupsCanceledPartial: 1,
+		Dispatches: 8, Preemptions: 2, Completions: 6,
+		SleepEntries: 3, Wakeups: 3,
+		TransientFaults: 1,
+	}
+	c.Proc[0] = ProcTime{Busy: 60, Idle: 40}
+	c.Proc[1] = ProcTime{Busy: 20, Idle: 30, Sleep: 50}
+	if problems := c.CheckInvariants(100); len(problems) != 0 {
+		t.Errorf("clean counters reported problems: %v", problems)
+	}
+}
+
+func TestCheckInvariantsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Counters)
+		want string
+	}{
+		{"settlement", func(c *Counters) { c.Effective++ }, "settlement"},
+		{"classification", func(c *Counters) { c.MandatoryJobs-- }, "classification"},
+		{"backup-cancel", func(c *Counters) { c.BackupsCanceledClean = 99 }, "canceled"},
+		{"backup-vs-mandatory", func(c *Counters) { c.BackupsCreated = 99 }, "mandatory releases"},
+		{"transient", func(c *Counters) { c.TransientFaults = 99 }, "transient"},
+		{"wakeups", func(c *Counters) { c.Wakeups = 99 }, "wakeups"},
+		{"span", func(c *Counters) { c.Proc[1].Idle++ }, "proc 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Counters{
+				Released: 2, MandatoryJobs: 2, Effective: 2,
+				BackupsCreated: 2, Dispatches: 4, Completions: 4,
+			}
+			c.Proc[0] = ProcTime{Busy: 100}
+			c.Proc[1] = ProcTime{Busy: 40, Sleep: 60}
+			tc.mut(&c)
+			problems := c.CheckInvariants(100)
+			if len(problems) == 0 {
+				t.Fatalf("expected a violation")
+			}
+			if !strings.Contains(strings.Join(problems, "\n"), tc.want) {
+				t.Errorf("problems %v do not mention %q", problems, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONLEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Emit(Event{T: 1500, Kind: EvDispatch, Proc: 0, TaskID: 1, Index: 3, Copy: CopyMain})
+	sink.Emit(Event{T: 2500, Kind: EvSettle, Proc: -1, TaskID: 1, Index: 3, Copy: CopyNone, OK: true})
+	sink.Emit(Event{T: 4000, Kind: EvCancel, Proc: 1, TaskID: 0, Index: 2, Copy: CopyBackup, Note: "sibling-effective"})
+	sink.Emit(Event{T: 5000, Kind: EvSleep, Proc: 1, TaskID: -1, Copy: CopyNone})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	// Every line must be valid standalone JSON with the expected fields.
+	type line struct {
+		T     int64  `json:"t_us"`
+		Kind  string `json:"kind"`
+		Proc  *int   `json:"proc"`
+		Task  *int   `json:"task"`
+		Index *int   `json:"index"`
+		Copy  string `json:"copy"`
+		OK    *bool  `json:"ok"`
+		Note  string `json:"note"`
+	}
+	var got []line
+	for i, l := range lines {
+		var v line
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, l)
+		}
+		got = append(got, v)
+	}
+	if got[0].Kind != "dispatch" || got[0].T != 1500 || got[0].Copy != "main" || got[0].Proc == nil || *got[0].Proc != 0 {
+		t.Errorf("dispatch line wrong: %s", lines[0])
+	}
+	if got[1].Kind != "settle" || got[1].OK == nil || !*got[1].OK || got[1].Proc != nil {
+		t.Errorf("settle line wrong: %s", lines[1])
+	}
+	if got[2].Note != "sibling-effective" || got[2].Copy != "backup" {
+		t.Errorf("cancel line wrong: %s", lines[2])
+	}
+	if got[3].Kind != "sleep" || got[3].Task != nil || got[3].OK != nil {
+		t.Errorf("sleep line wrong: %s", lines[3])
+	}
+}
+
+func TestJSONLEmitDoesNotAllocate(t *testing.T) {
+	sink := NewJSONL(discard{})
+	ev := Event{T: 123456, Kind: EvDispatch, Proc: 1, TaskID: 4, Index: 99, Copy: CopyBackup, Note: "x"}
+	allocs := testing.AllocsPerRun(1000, func() { sink.Emit(ev) })
+	if allocs > 0 {
+		t.Errorf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Emit(Event{Kind: EvSleep})
+	c.Emit(Event{Kind: EvWake})
+	c.Emit(Event{Kind: EvSleep})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(EvSleep) != 2 || c.Count(EvWake) != 1 {
+		t.Errorf("counts wrong: %+v", c.Events)
+	}
+}
+
+func TestProcTimeSpan(t *testing.T) {
+	pt := ProcTime{Busy: timeu.Millisecond, Idle: 2, Sleep: 3, Dead: 4}
+	if pt.Span() != timeu.Millisecond+9 {
+		t.Errorf("Span = %v", pt.Span())
+	}
+}

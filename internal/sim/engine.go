@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/task"
 	"repro/internal/timeu"
@@ -27,6 +28,9 @@ import (
 
 // NumProcs is fixed by the architecture: a primary and a spare.
 const NumProcs = 2
+
+// The observability layer hard-codes the same processor count.
+var _ = [1]struct{}{}[NumProcs-metrics.NumProcs]
 
 // Processor indices.
 const (
@@ -84,6 +88,11 @@ type Config struct {
 	// overheads into the WCET (zero here reproduces it); the knob exists
 	// for sensitivity studies.
 	PreemptionOverhead timeu.Time
+	// Sink, when non-nil, receives a structured event at every release,
+	// admission, dispatch, preemption, completion, cancellation,
+	// settlement, power-state transition and permanent fault. The nil
+	// default costs the hot path nothing.
+	Sink metrics.Sink
 }
 
 // Segment is one contiguous execution interval of a job copy on a
@@ -99,23 +108,10 @@ type Segment struct {
 	Canceled bool // segment ended by cancellation/kill rather than preemption/completion
 }
 
-// Counters aggregates run statistics.
-type Counters struct {
-	Released         int // job releases seen (per task job, not per copy)
-	MandatoryJobs    int
-	OptionalSelected int
-	OptionalSkipped  int
-	BackupsCreated   int
-	// BackupsCanceledClean counts backups cancelled before executing a
-	// single tick; BackupsCanceledPartial those cancelled mid-run.
-	BackupsCanceledClean   int
-	BackupsCanceledPartial int
-	TransientFaults        int
-	Misses                 int
-	Effective              int
-	Demotions              int // mandatory jobs demoted to optional/dropped by the dynamic schemes
-	Preemptions            int // times a partially executed copy was displaced by a higher-priority one
-}
+// Counters aggregates run statistics; the struct itself (field meanings,
+// JSON names, invariants) is defined by the observability layer in
+// internal/metrics.
+type Counters = metrics.Counters
 
 // Result is the outcome of one run.
 type Result struct {
@@ -191,6 +187,7 @@ type Engine struct {
 	open     []*jobPair // unsettled pairs
 	outcomes [][]bool
 	counters Counters
+	sink     metrics.Sink
 	trace    []Segment
 	permHit  *fault.Permanent
 	events   int
@@ -223,6 +220,7 @@ func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
 		set:      set,
 		policy:   policy,
 		cfg:      cfg,
+		sink:     cfg.Sink,
 		nextIdx:  make([]int, set.N()),
 		pairs:    make(map[pairKey]*jobPair),
 		outcomes: make([][]bool, set.N()),
@@ -262,6 +260,49 @@ func (e *Engine) Survivor() int {
 // Counters gives policies access to the run counters (e.g. Demotions).
 func (e *Engine) Counters() *Counters { return &e.counters }
 
+// emitJob sends a job-copy event to the sink, if one is attached. The
+// nil-sink check keeps the hot path allocation- and work-free when the
+// run is not being observed.
+func (e *Engine) emitJob(kind metrics.EventKind, proc int, j *task.Job, note string) {
+	if e.sink == nil {
+		return
+	}
+	e.sink.Emit(metrics.Event{
+		T:      e.now,
+		Kind:   kind,
+		Proc:   proc,
+		TaskID: j.TaskID,
+		Index:  j.Index,
+		Copy:   int(j.Copy),
+		Note:   note,
+	})
+}
+
+// emitProc sends a processor-scoped event (sleep/wake/permanent fault).
+func (e *Engine) emitProc(kind metrics.EventKind, proc int) {
+	if e.sink == nil {
+		return
+	}
+	e.sink.Emit(metrics.Event{T: e.now, Kind: kind, Proc: proc, TaskID: -1, Copy: metrics.CopyNone})
+}
+
+// setSleep flips a processor's DPD state, counting and reporting the
+// transition. Entering the low-power state and waking out of it are the
+// two power-state transitions of the paper's DPD model.
+func (e *Engine) setSleep(p *processor, asleep bool) {
+	if p.asleep == asleep {
+		return
+	}
+	p.asleep = asleep
+	if asleep {
+		e.counters.SleepEntries++
+		e.emitProc(metrics.EvSleep, p.id)
+	} else {
+		e.counters.Wakeups++
+		e.emitProc(metrics.EvWake, p.id)
+	}
+}
+
 // Admit registers a job copy for scheduling on processor proc. Copies of
 // the same logical job (same task and index) are paired automatically:
 // the first successful completion settles the job effective and cancels
@@ -282,9 +323,10 @@ func (e *Engine) Admit(j *task.Job, proc int) {
 	if j.Copy == task.Backup {
 		e.counters.BackupsCreated++
 	}
+	e.emitJob(metrics.EvAdmit, proc, j, "")
 	// New work may wake a sleeping processor (event wake; see DESIGN.md
 	// on the DPD model).
-	e.procs[proc].asleep = false
+	e.setSleep(e.procs[proc], false)
 }
 
 // SettleSkip records a skipped optional job (never admitted) as a miss in
@@ -297,6 +339,9 @@ func (e *Engine) SettleSkip(taskID, index int) {
 	p := &jobPair{key: key, class: task.Optional, settled: true}
 	e.pairs[key] = p
 	e.counters.OptionalSkipped++
+	if e.sink != nil {
+		e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvSkip, Proc: -1, TaskID: taskID, Index: index, Copy: metrics.CopyNone})
+	}
 	e.recordOutcome(taskID, index, false)
 }
 
@@ -311,6 +356,9 @@ func (e *Engine) recordOutcome(taskID, index int, effective bool) {
 		e.counters.Effective++
 	} else {
 		e.counters.Misses++
+	}
+	if e.sink != nil {
+		e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvSettle, Proc: -1, TaskID: taskID, Index: index, Copy: metrics.CopyNone, OK: effective})
 	}
 	e.policy.OnSettled(e, taskID, index, effective)
 }
@@ -356,6 +404,9 @@ func (e *Engine) processReleases() {
 		for t.Release(e.nextIdx[i]) == e.now && t.Release(e.nextIdx[i]) < e.cfg.Horizon {
 			if t.AbsDeadline(e.nextIdx[i]) <= e.cfg.Horizon {
 				e.counters.Released++
+				if e.sink != nil {
+					e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvRelease, Proc: -1, TaskID: i, Index: e.nextIdx[i], Copy: metrics.CopyNone})
+				}
 				e.policy.Release(e, t, e.nextIdx[i])
 			}
 			e.nextIdx[i]++
@@ -374,12 +425,16 @@ func (e *Engine) processCompletions() {
 		p.cur = nil
 		j.Done = true
 		j.FinishTime = e.now
+		e.counters.Completions++
 		// Transient faults strike during execution and are detected by
 		// the end-of-job sanity check (§II-B).
+		note := ""
 		if e.cfg.Faults.TransientDuring(j.WCET) {
 			j.Faulty = true
 			e.counters.TransientFaults++
+			note = "faulty"
 		}
+		e.emitJob(metrics.EvComplete, p.id, j, note)
 		e.removeLive(p.id, j)
 		if j.Completed() {
 			e.settleEffective(j)
@@ -399,11 +454,16 @@ func (e *Engine) settleEffective(j *task.Job) {
 	}
 	p.settled = true
 	e.dropOpen(p)
+	if j.Copy == task.Backup {
+		// The spare carried the job after the main copy was lost or
+		// faulty — the standby-sparing recovery actually paying off.
+		e.counters.BackupRecoveries++
+	}
 	for _, c := range p.copies {
 		if c == j || c.Done || c.Canceled {
 			continue
 		}
-		e.cancelCopy(c)
+		e.cancelCopy(c, "sibling-effective")
 	}
 	e.recordOutcome(j.TaskID, j.Index, true)
 }
@@ -426,15 +486,19 @@ func (e *Engine) copyFailed(j *task.Job) {
 	e.recordOutcome(j.TaskID, j.Index, false)
 }
 
-// cancelCopy removes a pending/running copy from the system.
-func (e *Engine) cancelCopy(c *task.Job) {
+// cancelCopy removes a pending/running copy from the system; reason is a
+// static annotation for the event stream ("sibling-effective",
+// "deadline", "permanent-fault").
+func (e *Engine) cancelCopy(c *task.Job, reason string) {
 	c.Canceled = true
 	c.FinishTime = e.now
+	proc := -1
 	for pid := 0; pid < NumProcs; pid++ {
 		p := e.procs[pid]
 		if p.cur == c {
 			e.closeSegment(p, true)
 			p.cur = nil
+			proc = pid
 		}
 		e.removeLive(pid, c)
 	}
@@ -445,6 +509,7 @@ func (e *Engine) cancelCopy(c *task.Job) {
 			e.counters.BackupsCanceledClean++
 		}
 	}
+	e.emitJob(metrics.EvCancel, proc, c, reason)
 }
 
 // processDeadlines settles every open pair whose deadline has arrived and
@@ -462,7 +527,7 @@ func (e *Engine) processDeadlines() {
 		e.dropOpen(p)
 		for _, c := range p.copies {
 			if !c.Done && !c.Canceled {
-				e.cancelCopy(c)
+				e.cancelCopy(c, "deadline")
 			}
 		}
 		e.recordOutcome(p.key.taskID, p.key.index, false)
@@ -476,6 +541,8 @@ func (e *Engine) processPermanentFault() {
 		return
 	}
 	e.permHit = pf
+	e.counters.PermanentFaults++
+	e.emitProc(metrics.EvPermanentFault, pf.Proc)
 	p := e.procs[pf.Proc]
 	if p.cur != nil {
 		e.closeSegment(p, true)
@@ -493,10 +560,13 @@ func (e *Engine) processPermanentFault() {
 				e.counters.BackupsCanceledClean++
 			}
 		}
+		e.emitJob(metrics.EvCancel, pf.Proc, c, "permanent-fault")
 	}
 	e.live[pf.Proc] = nil
 	p.cur = nil
 	p.dead = true
+	// The dead processor leaves the power-state machine entirely; this is
+	// not a DPD wake-up, so clear the flag without counting a transition.
 	p.asleep = false
 	e.policy.OnPermanentFault(e, pf.Proc)
 }
@@ -515,23 +585,26 @@ func (e *Engine) dispatch() {
 				// The displaced copy is preempted (it is neither done nor
 				// canceled — those paths clear cur before dispatch runs).
 				e.counters.Preemptions++
+				e.emitJob(metrics.EvPreempt, p.id, p.cur, "")
 				p.cur.Remaining += e.cfg.PreemptionOverhead
 			}
 			p.cur = pick
 			if pick != nil {
-				p.asleep = false
+				e.setSleep(p, false)
 				if !pick.Started {
 					pick.Started = true
 					pick.StartTime = e.now
 				}
 				p.curStart = e.now
+				e.counters.Dispatches++
+				e.emitJob(metrics.EvDispatch, p.id, pick, "")
 			}
 		}
 		if p.cur == nil {
 			// DPD decision (Algorithm 1 lines 10–15): sleep through the
 			// gap to the next known activation if it exceeds T_be.
 			gap := e.nextWork(p.id) - e.now
-			p.asleep = gap > e.cfg.Power.BreakEven
+			e.setSleep(p, gap > e.cfg.Power.BreakEven)
 		}
 	}
 }
@@ -702,6 +775,20 @@ func (e *Engine) dropOpen(p *jobPair) {
 
 // result assembles the Result.
 func (e *Engine) result() *Result {
+	for p := 0; p < NumProcs; p++ {
+		en := e.procs[p].energy
+		e.counters.Proc[p] = metrics.ProcTime{
+			Busy:  en.ActiveTime,
+			Idle:  en.IdleTime,
+			Sleep: en.SleepTime,
+			Dead:  en.DeadTime,
+		}
+	}
+	if e.sink != nil {
+		// Best effort: a sink error is an observability problem, not a
+		// simulation failure.
+		_ = e.sink.Flush()
+	}
 	r := &Result{
 		Policy:         e.policy.Name(),
 		Horizon:        e.cfg.Horizon,

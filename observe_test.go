@@ -1,0 +1,139 @@
+// Observability-layer tests at the facade level: counter invariants for
+// every approach under every fault scenario, and cross-checks that the
+// structured event stream agrees with the counters.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestCountersInvariantsAllApproaches runs every approach under every
+// scenario on the paper's motivation set and checks the structural
+// identities of the counters (including busy+idle+sleep+dead = horizon
+// on each processor).
+func TestCountersInvariantsAllApproaches(t *testing.T) {
+	for _, a := range Approaches() {
+		for _, sc := range []Scenario{NoFault, PermanentOnly, PermanentAndTransient} {
+			a, sc := a, sc
+			t.Run(fmt.Sprintf("%v/%v", a, sc), func(t *testing.T) {
+				s := NewSet(NewTask(5, 4, 3, 2, 4), NewTask(10, 10, 3, 1, 2))
+				res, err := Simulate(s, a, RunConfig{HorizonMS: 200, Scenario: sc, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if problems := CheckCounters(res); len(problems) > 0 {
+					t.Errorf("counter invariants violated:\n%s", strings.Join(problems, "\n"))
+				}
+				if res.Counters.Released == 0 {
+					t.Error("no releases counted")
+				}
+				if res.Counters.Dispatches == 0 {
+					t.Error("no dispatches counted")
+				}
+			})
+		}
+	}
+}
+
+// TestEventStreamMatchesCounters attaches a collector sink and verifies
+// the event stream is complete: every counted transition appears as an
+// event and vice versa.
+func TestEventStreamMatchesCounters(t *testing.T) {
+	sink := NewEventCollector()
+	s := NewSet(NewTask(5, 4, 3, 2, 4), NewTask(10, 10, 3, 1, 2))
+	res, err := Simulate(s, Selective, RunConfig{HorizonMS: 100, Scenario: PermanentOnly, Seed: 3, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	checks := []struct {
+		kind metrics.EventKind
+		want int
+	}{
+		{metrics.EvRelease, c.Released},
+		{metrics.EvSkip, c.OptionalSkipped},
+		{metrics.EvDispatch, c.Dispatches},
+		{metrics.EvPreempt, c.Preemptions},
+		{metrics.EvComplete, c.Completions},
+		{metrics.EvSettle, c.Effective + c.Misses},
+		{metrics.EvSleep, c.SleepEntries},
+		{metrics.EvWake, c.Wakeups},
+		{metrics.EvPermanentFault, c.PermanentFaults},
+		{metrics.EvCancel, c.BackupsCanceledClean + c.BackupsCanceledPartial}, // only backups are cancelled in this setup
+	}
+	for _, ck := range checks {
+		if got := sink.Count(ck.kind); got != ck.want {
+			t.Errorf("%v events = %d, counters say %d", ck.kind, got, ck.want)
+		}
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(sink.Events); i++ {
+		if sink.Events[i].T < sink.Events[i-1].T {
+			t.Fatalf("event %d at %v before predecessor at %v", i, sink.Events[i].T, sink.Events[i-1].T)
+		}
+	}
+}
+
+// TestJSONLSinkEndToEnd simulates into a JSONL sink and re-parses every
+// line, pinning the on-disk schema.
+func TestJSONLSinkEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	s := NewSet(NewTask(5, 4, 3, 2, 4), NewTask(10, 10, 3, 1, 2))
+	if _, err := Simulate(s, DP, RunConfig{HorizonMS: 40, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously few events: %d", len(lines))
+	}
+	kinds := map[string]int{}
+	for i, l := range lines {
+		var v struct {
+			T    *int64 `json:"t_us"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, l)
+		}
+		if v.T == nil || v.Kind == "" {
+			t.Fatalf("line %d missing t_us/kind: %s", i, l)
+		}
+		kinds[v.Kind]++
+	}
+	for _, want := range []string{"release", "admit", "dispatch", "complete", "settle", "cancel", "sleep"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events in stream (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+// TestBackupRecoveryCounted forces a main-copy transient fault and checks
+// the rescue is attributed to the backup.
+func TestBackupRecoveryCounted(t *testing.T) {
+	s := NewSet(NewTask(5, 4, 3, 2, 4), NewTask(10, 10, 3, 1, 2))
+	// A huge transient rate makes main-copy faults near-certain; the ST
+	// backups then carry the jobs.
+	res, err := Simulate(s, ST, RunConfig{HorizonMS: 200, Scenario: PermanentAndTransient, Seed: 11, TransientRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TransientFaults == 0 {
+		t.Fatal("expected transient faults at rate 0.5/ms")
+	}
+	if res.Counters.BackupRecoveries == 0 {
+		t.Error("transient faults struck but no backup recovery was counted")
+	}
+	if problems := CheckCounters(res); len(problems) > 0 {
+		t.Errorf("counter invariants violated:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/postpone"
 	"repro/internal/rta"
@@ -64,7 +65,21 @@ type (
 	Report = experiment.Report
 	// SweepConfig parameterizes a Figure-6 sweep.
 	SweepConfig = experiment.Config
+	// Counters is one run's observability counters (see internal/metrics
+	// for field meanings and invariants).
+	Counters = metrics.Counters
+	// MetricsSink receives the engine's structured events; see
+	// NewJSONLSink and NewEventCollector for the stock implementations.
+	MetricsSink = metrics.Sink
+	// MetricsEvent is one structured observation from the engine.
+	MetricsEvent = metrics.Event
+	// BenchDoc is the versioned machine-readable sweep document emitted
+	// by mkbench -json (schema experiment.BenchSchema).
+	BenchDoc = experiment.BenchDoc
 )
+
+// BenchSchema is the version tag of BENCH_*.json documents.
+const BenchSchema = experiment.BenchSchema
 
 // The four approaches of the paper, plus the DP-background extension
 // (textbook dual-priority where backups also run before promotion).
@@ -115,6 +130,10 @@ type RunConfig struct {
 	Power PowerModel
 	// RecordTrace keeps per-segment execution history for GanttChart.
 	RecordTrace bool
+	// Sink, when non-nil, receives a structured event for every engine
+	// transition (dispatches, settlements, cancellations, power states);
+	// see NewJSONLSink. Leaving it nil costs the simulation nothing.
+	Sink MetricsSink
 	// Options tunes the policies (ablations); zero value is the paper.
 	Options core.Options
 }
@@ -138,11 +157,29 @@ func Simulate(s *Set, a Approach, cfg RunConfig) (*Result, error) {
 		Horizon:     horizon,
 		Faults:      plan,
 		RecordTrace: cfg.RecordTrace,
+		Sink:        cfg.Sink,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return eng.Run()
+}
+
+// NewJSONLSink returns a buffered MetricsSink writing one JSON object
+// per event line to w; call Flush when the run finishes. The schema is
+// documented in EXPERIMENTS.md ("Observability").
+func NewJSONLSink(w io.Writer) *metrics.JSONL { return metrics.NewJSONL(w) }
+
+// NewEventCollector returns a MetricsSink that retains every event in
+// memory (tests, small interactive runs).
+func NewEventCollector() *metrics.Collector { return &metrics.Collector{} }
+
+// CheckCounters verifies a finished run's counters against the
+// simulator's structural identities (settlement and classification
+// totals, backup bounds, busy+idle+sleep+dead = horizon per processor).
+// It returns human-readable violations; nil means consistent.
+func CheckCounters(r *Result) []string {
+	return r.Counters.CheckInvariants(r.Horizon)
 }
 
 // GanttChart renders a traced run as an ASCII Gantt chart (one lane per

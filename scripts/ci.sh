@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# scripts/ci.sh — run the exact checks .github/workflows/ci.yml runs, so a
+# green local run means a green CI run.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh -fast      # skip the race detector and bench smoke
+#
+# Steps: gofmt, go vet, go build, go test, go test -race, golden-figure
+# diff (Figures 1-5 vs results/golden/), bench smoke (one iteration of
+# every benchmark + a reduced mkbench sweep emitting BENCH_ci.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "-fast" ] && fast=1
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step gofmt
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "go test"
+go test ./...
+
+if [ "$fast" = 0 ]; then
+  step "go test -race"
+  go test -race ./...
+fi
+
+step "golden figures (1-5)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+status=0
+for fig in 1 2 3 4 5; do
+  go run ./cmd/mktrace -fig "$fig" > "$tmp/fig$fig.txt"
+  if ! diff -u "results/golden/fig$fig.txt" "$tmp/fig$fig.txt"; then
+    echo "figure $fig regressed (regenerate goldens only if the change is intended)" >&2
+    status=1
+  fi
+done
+[ "$status" = 0 ]
+
+if [ "$fast" = 0 ]; then
+  step "bench smoke"
+  go test -bench . -benchtime 1x ./...
+  go run ./cmd/mkbench -fig 6a -sets 3 -candidates 800 -q -json -jsonout "$tmp/BENCH_ci.json"
+  echo "BENCH_ci.json written to $tmp (CI uploads this as an artifact)"
+fi
+
+printf '\nall checks passed\n'
