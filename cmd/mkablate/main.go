@@ -17,14 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro"
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/pattern"
 	"repro/internal/workload"
 )
@@ -59,18 +61,17 @@ func main() {
 			approaches: []core.Approach{core.ST, core.DPBackground, core.Selective}},
 	}
 
-	var sc fault.Scenario
-	switch *scenario {
-	case "none", "":
-		sc = fault.NoFault
-	case "permanent":
-		sc = fault.PermanentOnly
-	case "permanent+transient", "both":
-		sc = fault.PermanentAndTransient
-	default:
-		fmt.Fprintf(os.Stderr, "mkablate: unknown scenario %q\n", *scenario)
+	sc, err := repro.ParseScenario(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkablate: %v\n", err)
 		os.Exit(2)
 	}
+
+	// All variants vary only the policy options, not the workload, so one
+	// session's analysis cache serves every variant that shares Pattern.
+	runner := repro.NewRunner(repro.RunnerConfig{})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Printf("%-14s %12s %12s %14s\n", "variant", "dp/st", "selective/st", "max-gain-vs-dp")
 	for _, v := range variants {
@@ -92,9 +93,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running %s...\n", v.name)
 		}
 		t0 := time.Now()
-		rep, err := repro.Sweep(cfg)
+		rep, err := runner.Sweep(ctx, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mkablate: %s: %v\n", v.name, err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "mkablate: interrupted during %s — table above is incomplete\n", v.name)
+			} else {
+				fmt.Fprintf(os.Stderr, "mkablate: %s: %v\n", v.name, err)
+			}
 			os.Exit(1)
 		}
 		dpApproach := core.DP

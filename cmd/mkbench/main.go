@@ -20,9 +20,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -45,8 +48,18 @@ func main() {
 		loU        = flag.Float64("lo", 0.1, "lowest utilization bound")
 		hiU        = flag.Float64("hi", 1.0, "highest utilization bound")
 		quiet      = flag.Bool("q", false, "suppress per-interval progress")
+		noCache    = flag.Bool("nocache", false, "disable the offline-analysis cache (benchmarking the cache itself)")
+		cacheStats = flag.Bool("cachestats", false, "print analysis-cache hit/miss statistics after each figure")
 	)
 	flag.Parse()
+
+	// One session for all figures: the same seed regenerates identical
+	// task sets per figure, so the second and third sweeps hit the
+	// offline-analysis cache instead of re-deriving everything. SIGINT
+	// cancels gracefully, printing the partial table.
+	runner := repro.NewRunner(repro.RunnerConfig{CacheEntries: cacheCap(*noCache)})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	scenarios := map[string]fault.Scenario{
 		"6a": fault.NoFault,
@@ -87,14 +100,31 @@ func main() {
 				name, sc, *sets, *candidates)
 		}
 		t0 := time.Now()
-		rep, err := repro.Sweep(cfg)
-		if err != nil {
+		rep, err := runner.Sweep(ctx, cfg)
+		interrupted := err != nil && errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
 			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
 			os.Exit(1)
 		}
 		elapsed := time.Since(t0)
+		if interrupted {
+			// Partial results: print whatever intervals completed and
+			// skip the machine-readable outputs (they would be
+			// indistinguishable from a full run).
+			if rep != nil && len(rep.Rows) > 0 {
+				fmt.Print(rep.Table())
+			}
+			fmt.Printf("(figure %s interrupted after %v — partial results above: %d of %d intervals; JSON/CSV outputs skipped)\n",
+				name, elapsed.Round(time.Millisecond), rowCount(rep), len(cfg.Intervals))
+			os.Exit(1)
+		}
 		fmt.Print(rep.Table())
 		fmt.Printf("(figure %s finished in %v)\n\n", name, elapsed.Round(time.Millisecond))
+		if *cacheStats {
+			st := runner.CacheStats()
+			fmt.Fprintf(os.Stderr, "analysis cache after figure %s: %d hits, %d misses, %d evictions, %d/%d entries\n",
+				name, st.Hits, st.Misses, st.Evictions, st.Entries, st.Capacity)
+		}
 		if *jsonOut {
 			path := *jsonPath
 			if path == "" {
@@ -135,4 +165,19 @@ func main() {
 			}
 		}
 	}
+}
+
+// cacheCap maps the -nocache flag onto RunnerConfig.CacheEntries.
+func cacheCap(noCache bool) int {
+	if noCache {
+		return -1
+	}
+	return 0
+}
+
+func rowCount(rep *repro.Report) int {
+	if rep == nil {
+		return 0
+	}
+	return len(rep.Rows)
 }

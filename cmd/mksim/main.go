@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -52,13 +55,21 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "print a machine-readable run report (schema mkss-run/v1) instead of text")
 	flag.StringVar(&o.events, "events", "", "write the structured event trace as JSONL to this file")
 	flag.Parse()
-	if err := run(o); err != nil {
-		fmt.Fprintf(os.Stderr, "mksim: %v\n", err)
+	// SIGINT cancels the simulation gracefully: the engine stops at the
+	// next event-loop check and run reports the interruption.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mksim: interrupted — no results (single runs have no partial output)")
+		} else {
+			fmt.Fprintf(os.Stderr, "mksim: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	var s *repro.Set
 	switch {
 	case o.demo:
@@ -81,16 +92,9 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	var sc repro.Scenario
-	switch o.scenario {
-	case "none", "":
-		sc = repro.NoFault
-	case "permanent":
-		sc = repro.PermanentOnly
-	case "permanent+transient", "both":
-		sc = repro.PermanentAndTransient
-	default:
-		return fmt.Errorf("unknown scenario %q", o.scenario)
+	sc, err := repro.ParseScenario(o.scenario)
+	if err != nil {
+		return err
 	}
 
 	schedulable := repro.RPatternSchedulable(s)
@@ -124,7 +128,7 @@ func run(o options) error {
 		}()
 	}
 
-	res, err := repro.Simulate(s, a, cfg)
+	res, err := repro.SimulateContext(ctx, s, a, cfg)
 	if err != nil {
 		return err
 	}

@@ -12,12 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
 )
+
+// runner is the shared session: Figures 1/2 and 3/4 reuse the same task
+// sets, so the offline analyses are derived once per set. The figures'
+// output is unaffected — memoization only skips recomputing pure
+// functions of the set.
+var runner = repro.NewRunner(repro.RunnerConfig{})
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to reproduce (1-5)")
@@ -72,7 +79,7 @@ func render(fig int) error {
 func simulate(title string, s *repro.Set, a repro.Approach, horizonMS float64) error {
 	fmt.Println(title)
 	fmt.Println(s)
-	res, err := repro.Simulate(s, a, repro.RunConfig{HorizonMS: horizonMS, RecordTrace: true})
+	res, err := runner.Simulate(context.Background(), s, a, repro.RunConfig{HorizonMS: horizonMS, RecordTrace: true})
 	if err != nil {
 		return err
 	}

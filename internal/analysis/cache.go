@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/task"
+)
+
+// DefaultCacheEntries is the cache capacity when NewCache is given a
+// non-positive size. A Figure-6 sweep touches (intervals × sets-per-
+// interval) distinct sets — 8×100 with the paper's §V parameters — and
+// each idle Products entry is small (the heavy slices are lazy), so the
+// default comfortably covers a default sweep without rebuilds.
+const DefaultCacheEntries = 1024
+
+// Cache is a size-bounded, concurrency-safe LRU of Products keyed by
+// (set fingerprint, options). Sweep workers share one Cache so the same
+// generated set simulated under several approaches and fault scenarios
+// derives its offline analysis once.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *entry
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key   string
+	prods *Products
+}
+
+// NewCache builds a Cache holding at most capacity entries. Zero means
+// DefaultCacheEntries; a negative capacity disables memoization — Get
+// then builds fresh Products on every call (and counts only misses),
+// which is the pre-memoization behavior for benchmarking the cache
+// itself.
+func NewCache(capacity int) *Cache {
+	if capacity == 0 {
+		capacity = DefaultCacheEntries
+	}
+	c := &Cache{capacity: capacity, order: list.New()}
+	if capacity > 0 {
+		c.entries = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the memoized Products for (s, opts), inserting a fresh lazy
+// entry on miss and evicting the least recently used entry beyond
+// capacity. Distinct *task.Set values with equal fingerprints share one
+// entry (the entry retains the set passed at insertion time). The lookup
+// itself is cheap — products are computed lazily outside the cache lock,
+// so a miss never stalls other workers on analysis work.
+func (c *Cache) Get(s *task.Set, opts Options) *Products {
+	if c.capacity < 0 { // memoization disabled
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return New(s, opts)
+	}
+	key := opts.key() + "#" + Fingerprint(s)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*entry).prods
+	}
+	c.misses++
+	prods := New(s, opts)
+	c.entries[key] = c.order.PushFront(&entry{key: key, prods: prods})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	return prods
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

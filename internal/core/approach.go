@@ -19,7 +19,9 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/pattern"
 	"repro/internal/sim"
 	"repro/internal/timeu"
@@ -47,21 +49,78 @@ const (
 	DPBackground
 )
 
+// approachNames is the one canonical table behind String, ParseApproach
+// and the text (un)marshalers: the canonical report name first, then the
+// accepted aliases. Matching is case-insensitive; every cmd/ flag parser
+// goes through ParseApproach rather than keeping its own switch.
+var approachNames = []struct {
+	a         Approach
+	canonical string
+	aliases   []string
+}{
+	{ST, "MKSS-ST", []string{"st"}},
+	{DP, "MKSS-DP", []string{"dp"}},
+	{Greedy, "MKSS-greedy", []string{"greedy"}},
+	{Selective, "MKSS-selective", []string{"selective", "sel"}},
+	{DPBackground, "MKSS-DP-background", []string{"dp-background", "dpbg"}},
+}
+
 func (a Approach) String() string {
-	switch a {
-	case ST:
-		return "MKSS-ST"
-	case DP:
-		return "MKSS-DP"
-	case Greedy:
-		return "MKSS-greedy"
-	case Selective:
-		return "MKSS-selective"
-	case DPBackground:
-		return "MKSS-DP-background"
-	default:
-		return fmt.Sprintf("Approach(%d)", int(a))
+	for _, row := range approachNames {
+		if row.a == a {
+			return row.canonical
+		}
 	}
+	return fmt.Sprintf("Approach(%d)", int(a))
+}
+
+// MarshalText renders the canonical name, so Approach round-trips through
+// JSON and flag values.
+func (a Approach) MarshalText() ([]byte, error) {
+	for _, row := range approachNames {
+		if row.a == a {
+			return []byte(row.canonical), nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown approach %d", int(a))
+}
+
+// UnmarshalText parses an approach name via ParseApproach.
+func (a *Approach) UnmarshalText(text []byte) error {
+	parsed, err := ParseApproach(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// ParseApproach maps a name — canonical, alias, or underscore variant, in
+// any case — to its Approach. It is the inverse of String.
+func ParseApproach(s string) (Approach, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	name = strings.ReplaceAll(name, "_", "-")
+	for _, row := range approachNames {
+		if name == strings.ToLower(row.canonical) {
+			return row.a, nil
+		}
+		for _, al := range row.aliases {
+			if name == al {
+				return row.a, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: unknown approach %q (want one of %s)", s, strings.Join(ApproachNames(), ", "))
+}
+
+// ApproachNames lists the canonical approach names in table order, for
+// flag usage strings and error messages.
+func ApproachNames() []string {
+	out := make([]string, len(approachNames))
+	for i, row := range approachNames {
+		out[i] = row.canonical
+	}
+	return out
 }
 
 // Approaches lists the paper's approaches in presentation order.
@@ -88,6 +147,13 @@ type Options struct {
 	// UsePromotionForTheta makes the selective scheme postpone backups by
 	// Yi instead of θi (ablation: isolates the benefit of Defs. 2–5).
 	UsePromotionForTheta bool
+	// Offline, when non-nil, supplies memoized offline analyses (promotion
+	// intervals, θ, pattern tables) for the set under simulation, so
+	// repeated runs of the same set skip the per-Init recomputation. The
+	// products must have been derived with the same Pattern and
+	// HyperperiodCap, from a set fingerprint-identical to the one
+	// simulated; repro.Runner guarantees both.
+	Offline *analysis.Products
 }
 
 // New constructs the sim.Policy for an approach.

@@ -34,7 +34,11 @@ func (p *greedyPolicy) Name() string { return Greedy.String() }
 
 func (p *greedyPolicy) Init(e *sim.Engine) error {
 	set := e.Set()
-	p.ys = rta.PromotionTimesSafe(set)
+	if off := p.opts.Offline; off != nil {
+		p.ys = off.PromotionTimes()
+	} else {
+		p.ys = rta.PromotionTimesSafe(set)
+	}
 	ms := make([]int, set.N())
 	ks := make([]int, set.N())
 	for i, t := range set.Tasks {
@@ -48,20 +52,20 @@ func (p *greedyPolicy) Release(e *sim.Engine, t task.Task, index int) {
 	fd := p.hist[t.ID].FlexibilityDegree()
 	if fd == 0 {
 		e.Counters().MandatoryJobs++
-		main := task.NewJob(t, index, task.Mandatory)
+		main := e.NewJob(t, index, task.Mandatory)
 		if p.dead[sim.Primary] || p.dead[sim.Spare] {
 			e.Admit(main, e.Survivor())
 			return
 		}
 		e.Admit(main, sim.Primary)
-		e.Admit(task.NewBackup(t, index, p.ys[t.ID]), sim.Spare)
+		e.Admit(e.NewBackup(t, index, p.ys[t.ID]), sim.Spare)
 		return
 	}
-	if patternMandatory(p.opts.Pattern, index, t.M, t.K) {
+	if staticMandatory(p.opts, t, index) {
 		e.Counters().Demotions++
 	}
 	e.Counters().OptionalSelected++
-	j := task.NewJob(t, index, task.Optional)
+	j := e.NewJob(t, index, task.Optional)
 	j.FD = fd
 	e.Admit(j, sim.Primary)
 }

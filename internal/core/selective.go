@@ -48,10 +48,16 @@ func (p *selectivePolicy) Name() string { return Selective.String() }
 
 func (p *selectivePolicy) Init(e *sim.Engine) error {
 	set := e.Set()
-	an, err := postpone.Compute(set, postpone.Options{
-		Pattern:        p.opts.Pattern,
-		HyperperiodCap: p.opts.HyperperiodCap,
-	})
+	var an *postpone.Analysis
+	var err error
+	if off := p.opts.Offline; off != nil {
+		an, err = off.Postponement()
+	} else {
+		an, err = postpone.Compute(set, postpone.Options{
+			Pattern:        p.opts.Pattern,
+			HyperperiodCap: p.opts.HyperperiodCap,
+		})
+	}
 	if err != nil {
 		return fmt.Errorf("selective: %w", err)
 	}
@@ -80,19 +86,19 @@ func (p *selectivePolicy) Release(e *sim.Engine, t task.Task, index int) {
 	switch {
 	case fd == 0:
 		e.Counters().MandatoryJobs++
-		main := task.NewJob(t, index, task.Mandatory)
+		main := e.NewJob(t, index, task.Mandatory)
 		if p.dead[sim.Primary] || p.dead[sim.Spare] {
 			e.Admit(main, e.Survivor())
 			return
 		}
 		e.Admit(main, sim.Primary)
-		e.Admit(task.NewBackup(t, index, p.theta(t.ID)), sim.Spare)
+		e.Admit(e.NewBackup(t, index, p.theta(t.ID)), sim.Spare)
 	case fd <= p.opts.FDThreshold:
-		if patternMandatory(p.opts.Pattern, index, t.M, t.K) {
+		if staticMandatory(p.opts, t, index) {
 			e.Counters().Demotions++
 		}
 		e.Counters().OptionalSelected++
-		j := task.NewJob(t, index, task.Optional)
+		j := e.NewJob(t, index, task.Optional)
 		j.FD = fd
 		proc := sim.Primary
 		if !p.opts.NoAlternation && p.alt[t.ID]%2 == 1 {
@@ -101,7 +107,7 @@ func (p *selectivePolicy) Release(e *sim.Engine, t task.Task, index int) {
 		p.alt[t.ID]++
 		e.Admit(j, proc)
 	default:
-		if patternMandatory(p.opts.Pattern, index, t.M, t.K) {
+		if staticMandatory(p.opts, t, index) {
 			e.Counters().Demotions++
 		}
 		e.SettleSkip(t.ID, index)

@@ -40,14 +40,14 @@ func (p *stPolicy) Release(e *sim.Engine, t task.Task, index int) {
 		return
 	}
 	e.Counters().MandatoryJobs++
-	main := task.NewJob(t, index, task.Mandatory)
+	main := e.NewJob(t, index, task.Mandatory)
 	if p.dead[sim.Primary] || p.dead[sim.Spare] {
 		// Single survivor: one copy only.
 		e.Admit(main, e.Survivor())
 		return
 	}
 	e.Admit(main, sim.Primary)
-	e.Admit(task.NewBackup(t, index, 0), sim.Spare)
+	e.Admit(e.NewBackup(t, index, 0), sim.Spare)
 }
 
 func (p *stPolicy) Less(now timeu.Time, a, b *task.Job) bool { return fpLess(a, b) }
@@ -84,7 +84,11 @@ func (p *dpPolicy) Name() string {
 }
 
 func (p *dpPolicy) Init(e *sim.Engine) error {
-	p.ys = rta.PromotionTimesSafe(e.Set())
+	if off := p.opts.Offline; off != nil {
+		p.ys = off.PromotionTimes()
+	} else {
+		p.ys = rta.PromotionTimesSafe(e.Set())
+	}
 	return nil
 }
 
@@ -98,7 +102,7 @@ func (p *dpPolicy) Release(e *sim.Engine, t task.Task, index int) {
 		return
 	}
 	e.Counters().MandatoryJobs++
-	main := task.NewJob(t, index, task.Mandatory)
+	main := e.NewJob(t, index, task.Mandatory)
 	if p.dead[sim.Primary] || p.dead[sim.Spare] {
 		e.Admit(main, e.Survivor())
 		return
@@ -106,11 +110,11 @@ func (p *dpPolicy) Release(e *sim.Engine, t task.Task, index int) {
 	mp := p.mainProc(t.ID)
 	e.Admit(main, mp)
 	if p.background {
-		backup := task.NewBackup(t, index, 0)
+		backup := e.NewBackup(t, index, 0)
 		backup.Promote = backup.BaseRelease + p.ys[t.ID]
 		e.Admit(backup, 1-mp)
 	} else {
-		e.Admit(task.NewBackup(t, index, p.ys[t.ID]), 1-mp)
+		e.Admit(e.NewBackup(t, index, p.ys[t.ID]), 1-mp)
 	}
 }
 
@@ -140,7 +144,11 @@ func (p *dpPolicy) OnSettled(e *sim.Engine, taskID, index int, effective bool) {
 func (p *dpPolicy) OnPermanentFault(e *sim.Engine, dead int) { p.dead[dead] = true }
 
 // staticMandatory applies the static pattern classification shared by the
-// ST and DP baselines.
+// ST and DP baselines, via the memoized table when offline products are
+// attached.
 func staticMandatory(opts Options, t task.Task, index int) bool {
+	if opts.Offline != nil {
+		return opts.Offline.Mandatory(t.ID, index)
+	}
 	return patternMandatory(opts.Pattern, index, t.M, t.K)
 }

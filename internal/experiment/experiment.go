@@ -8,13 +8,16 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"strings"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -54,7 +57,15 @@ type Config struct {
 	// Workers bounds simulation parallelism (0 = runtime.NumCPU()).
 	Workers int
 	// Progress, when non-nil, receives one line per finished interval.
+	// Intervals run concurrently, so lines may arrive out of interval
+	// order.
 	Progress io.Writer
+	// Cache, when non-nil, memoizes per-set offline analyses across the
+	// sweep (shared by all workers); nil means a sweep-private cache.
+	Cache *analysis.Cache
+	// ScratchPool, when non-nil, recycles engine working state between
+	// runs; nil means a sweep-private pool.
+	ScratchPool *sim.ScratchPool
 }
 
 // DefaultConfig returns the paper's Figure 6 setup for a scenario.
@@ -114,8 +125,23 @@ type Report struct {
 	Rows       []Row
 }
 
-// Run executes the sweep.
+// Run executes the sweep without cancellation support; see RunContext.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the sweep, sharding whole intervals across the
+// worker budget: each interval generates its task sets and fans the
+// per-set simulations out over a semaphore shared by every interval, so
+// the sweep keeps all workers busy across interval boundaries. Per-set
+// offline analyses are memoized in cfg.Cache and derived once per set,
+// not once per approach.
+//
+// On cancellation RunContext returns the partial Report — the intervals
+// that completed, in interval order — together with a non-nil error
+// wrapping ctx.Err() (test with errors.Is). All workers are drained
+// before it returns; no goroutines leak.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.SetsPerInterval <= 0 {
 		cfg.SetsPerInterval = 20
 	}
@@ -140,60 +166,122 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
+	if cfg.Cache == nil {
+		cfg.Cache = analysis.NewCache(0)
+	}
+	if cfg.ScratchPool == nil {
+		cfg.ScratchPool = sim.NewScratchPool()
+	}
 	approaches := ensureST(cfg.Approaches)
 
-	rep := &Report{Scenario: cfg.Scenario, Approaches: approaches, Rows: make([]Row, len(cfg.Intervals))}
+	rows := make([]Row, len(cfg.Intervals))
+	done := make([]bool, len(cfg.Intervals))
+	// sem gates both set generation and simulation work across all
+	// intervals. Interval goroutines release it before waiting on their
+	// set workers, so the two uses cannot deadlock.
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards firstErr, done, Progress
+	var firstErr error
 	for ivIdx, iv := range cfg.Intervals {
-		gen := workload.NewGenerator(cfg.Workload, stats.DeriveSeed(cfg.Seed, uint64(ivIdx)))
-		batch := gen.GenerateInterval(iv, cfg.SetsPerInterval, cfg.MaxCandidates)
-		row := Row{
-			Interval:   iv,
-			Candidates: batch.Candidates,
-			NormMean:   map[core.Approach]float64{},
-			NormCI:     map[core.Approach]float64{},
-			Violations: map[core.Approach]int{},
-			Counters:   map[core.Approach]metrics.Counters{},
-		}
-		results := make([]SetResult, len(batch.Sets))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Workers)
-		var firstErr error
-		var mu sync.Mutex
-		for si, s := range batch.Sets {
-			wg.Add(1)
+		wg.Add(1)
+		go func(ivIdx int, iv workload.Interval) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			sem <- struct{}{}
-			go func(si int, s *task.Set) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+ivIdx*10_000+si))
-				sr, err := RunSet(s, approaches, cfg, faultSeed)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("interval %v set %d: %w", iv, si, err)
-					return
-				}
-				results[si] = sr
-			}(si, s)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		row.Sets = results
-		aggregate(&row, approaches)
-		rep.Rows[ivIdx] = row
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "interval %v: %d sets (%d candidates) %s\n",
-				iv, len(row.Sets), row.Candidates, row.summary(approaches))
-		}
+			gen := workload.NewGenerator(cfg.Workload, stats.DeriveSeed(cfg.Seed, uint64(ivIdx)))
+			batch := gen.GenerateInterval(iv, cfg.SetsPerInterval, cfg.MaxCandidates)
+			<-sem
+			row := Row{
+				Interval:   iv,
+				Candidates: batch.Candidates,
+				NormMean:   map[core.Approach]float64{},
+				NormCI:     map[core.Approach]float64{},
+				Violations: map[core.Approach]int{},
+				Counters:   map[core.Approach]metrics.Counters{},
+			}
+			results := make([]SetResult, len(batch.Sets))
+			var iwg sync.WaitGroup
+			failed := false
+			for si, s := range batch.Sets {
+				iwg.Add(1)
+				go func(si int, s *task.Set) {
+					defer iwg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					if ctx.Err() != nil {
+						return
+					}
+					faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+ivIdx*10_000+si))
+					sr, err := runSet(ctx, s, approaches, cfg, faultSeed)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil && !isCtxErr(ctx, err) {
+							firstErr = fmt.Errorf("interval %v set %d: %w", iv, si, err)
+						}
+						mu.Unlock()
+						return
+					}
+					results[si] = sr
+				}(si, s)
+			}
+			iwg.Wait()
+			if ctx.Err() != nil {
+				return
+			}
+			mu.Lock()
+			failed = firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			row.Sets = results
+			aggregate(&row, approaches)
+			rows[ivIdx] = row
+			mu.Lock()
+			done[ivIdx] = true
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "interval %v: %d sets (%d candidates) %s\n",
+					iv, len(row.Sets), row.Candidates, row.summary(approaches))
+			}
+			mu.Unlock()
+		}(ivIdx, iv)
 	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep := &Report{Scenario: cfg.Scenario, Approaches: approaches}
+	if err := ctx.Err(); err != nil {
+		// Partial report: the completed intervals, in interval order.
+		for ivIdx := range rows {
+			if done[ivIdx] {
+				rep.Rows = append(rep.Rows, rows[ivIdx])
+			}
+		}
+		return rep, fmt.Errorf("experiment: sweep interrupted (%d/%d intervals complete): %w",
+			len(rep.Rows), len(cfg.Intervals), err)
+	}
+	rep.Rows = rows
 	return rep, nil
+}
+
+// isCtxErr reports whether err is just the context's cancellation
+// surfacing through a worker, as opposed to a real simulation failure.
+func isCtxErr(ctx context.Context, err error) bool {
+	cause := ctx.Err()
+	return cause != nil && errors.Is(err, cause)
 }
 
 // RunSet simulates one task set under every approach with an identical
 // fault realization and returns the per-approach energies.
 func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64) (SetResult, error) {
+	return runSet(context.Background(), s, approaches, cfg, faultSeed)
+}
+
+func runSet(ctx context.Context, s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64) (SetResult, error) {
 	horizon := simHorizon(s, cfg.MinHorizon, cfg.HorizonCap)
 	sr := SetResult{
 		Set:      s,
@@ -203,13 +291,24 @@ func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint6
 		Violated: map[core.Approach]bool{},
 		Counters: map[core.Approach]metrics.Counters{},
 	}
+	opts := cfg.CoreOpts
+	if opts.Offline == nil && cfg.Cache != nil {
+		// One offline analysis per set, shared by every approach below
+		// (and by any other run of a fingerprint-identical set).
+		opts.Offline = cfg.Cache.Get(s, analysis.Options{
+			Pattern:        opts.Pattern,
+			HyperperiodCap: opts.HyperperiodCap,
+		})
+	}
+	scr := cfg.ScratchPool.Get()
+	defer cfg.ScratchPool.Put(scr)
 	for _, a := range approaches {
 		// Each approach re-draws the same plan from the same seed, so the
 		// permanent fault instant/processor are identical across
 		// approaches (fair comparison); transient draws consume the
 		// stream per executed job.
 		plan := fault.NewPlan(cfg.Scenario, horizon, stats.NewRand(faultSeed))
-		policy, err := core.New(a, cfg.CoreOpts)
+		policy, err := core.New(a, opts)
 		if err != nil {
 			return sr, err
 		}
@@ -217,11 +316,12 @@ func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint6
 			Power:   cfg.Power,
 			Horizon: horizon,
 			Faults:  plan,
+			Scratch: scr,
 		})
 		if err != nil {
 			return sr, err
 		}
-		res, err := eng.Run()
+		res, err := eng.RunContext(ctx)
 		if err != nil {
 			return sr, err
 		}

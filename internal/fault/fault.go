@@ -16,6 +16,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/stats"
 	"repro/internal/timeu"
@@ -48,6 +49,23 @@ func (s Scenario) String() string {
 		return "permanent+transient"
 	default:
 		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// ParseScenario maps a scenario name, case-insensitively, to its value:
+// "none", "no-fault" or "" → NoFault; "permanent" → PermanentOnly;
+// "permanent+transient" or "both" → PermanentAndTransient. It is the one
+// table every command-line flag parser shares.
+func ParseScenario(s string) (Scenario, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", "no-fault", "nofault":
+		return NoFault, nil
+	case "permanent":
+		return PermanentOnly, nil
+	case "permanent+transient", "both":
+		return PermanentAndTransient, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown scenario %q (want none, permanent, or permanent+transient)", s)
 	}
 }
 

@@ -57,6 +57,10 @@ type Options struct {
 	// LCM_{q≤i}(kq·Pq) exceeds the cap fall back to θi = Yi (safe by
 	// dual-priority theory). Zero means DefaultHyperperiodCap.
 	HyperperiodCap timeu.Time
+	// Promotion, when non-nil and of length s.N(), supplies precomputed
+	// promotion intervals Yi (as from rta.PromotionTimesSafe) so the
+	// analysis skips re-running the RTA fixed point. Ignored otherwise.
+	Promotion []timeu.Time
 }
 
 // DefaultHyperperiodCap bounds the exact analysis to hyperperiods of at
@@ -78,8 +82,11 @@ func Compute(s *task.Set, opts Options) (*Analysis, error) {
 	// Safe promotion intervals: tasks whose full-interference RTA
 	// diverges get Y = 0, so the floor below never hurts correctness on
 	// sets that are only R-pattern-schedulable.
-	ys := rta.PromotionTimesSafe(s)
 	n := s.N()
+	ys := opts.Promotion
+	if len(ys) != n {
+		ys = rta.PromotionTimesSafe(s)
+	}
 	an := &Analysis{
 		Theta:    make([]timeu.Time, n),
 		RawTheta: make([]timeu.Time, n),

@@ -9,7 +9,6 @@ package rta
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/pattern"
 	"repro/internal/task"
@@ -85,6 +84,23 @@ func PromotionTimes(s *task.Set) ([]timeu.Time, error) {
 	return ys, nil
 }
 
+// ResponseTimesSafe computes every task's worst-case response time with a
+// divergence fallback instead of an error: converged[i] reports whether
+// the fixed point settled within the deadline; when it did not, rs[i] is
+// the first iterate past the deadline (an under-approximation of the true,
+// possibly unbounded, response time). The pair is the memoizable "RTA
+// response times" product consumed by internal/analysis.
+func ResponseTimesSafe(s *task.Set) (rs []timeu.Time, converged []bool) {
+	rs = make([]timeu.Time, s.N())
+	converged = make([]bool, s.N())
+	for i := range s.Tasks {
+		r, err := ResponseTime(s, i)
+		rs[i] = r
+		converged[i] = err == nil
+	}
+	return rs, converged
+}
+
 // PromotionTimesSafe computes Yi = Di − Ri like PromotionTimes but never
 // fails: tasks whose full-interference response time diverges past the
 // deadline get Yi = 0 (no procrastination — the dual-priority baseline
@@ -92,14 +108,22 @@ func PromotionTimes(s *task.Set) ([]timeu.Time, error) {
 // workloads that are R-pattern-schedulable without being fully
 // schedulable: the baselines still need *some* promotion interval.
 func PromotionTimesSafe(s *task.Set) []timeu.Time {
+	rs, converged := ResponseTimesSafe(s)
+	return PromotionFromResponse(s, rs, converged)
+}
+
+// PromotionFromResponse derives the promotion intervals Yi = Di − Ri from
+// already-computed response times (Eq. 2 with the divergence fallback of
+// PromotionTimesSafe). It lets callers holding memoized response times
+// avoid re-running the fixed-point iteration.
+func PromotionFromResponse(s *task.Set, rs []timeu.Time, converged []bool) []timeu.Time {
 	ys := make([]timeu.Time, s.N())
 	for i := range s.Tasks {
-		r, err := ResponseTime(s, i)
-		if err != nil {
+		if !converged[i] {
 			ys[i] = 0
 			continue
 		}
-		ys[i] = s.Tasks[i].Deadline - r
+		ys[i] = s.Tasks[i].Deadline - rs[i]
 	}
 	return ys
 }
@@ -124,33 +148,63 @@ type MandatoryJob struct {
 // MandatoryJobs enumerates the mandatory jobs of every task (per the given
 // static pattern) released in [0, horizon). Jobs are returned sorted by
 // release time, then by priority (task index).
+//
+// Each task's mandatory jobs are already in release order, so the sorted
+// output is a k-way merge of per-task streams rather than a sort of their
+// concatenation — the generator's schedulability filter calls this once
+// per candidate and the sort used to dominate whole-sweep profiles.
 func MandatoryJobs(s *task.Set, kind pattern.Kind, horizon timeu.Time) []MandatoryJob {
-	var jobs []MandatoryJob
-	for _, t := range s.Tasks {
-		for j := 1; t.Release(j) < horizon; j++ {
-			if !pattern.Mandatory(kind, j, t.M, t.K) {
-				continue
+	type cursor struct {
+		j       int // next mandatory job index (1-based); 0 = exhausted
+		release timeu.Time
+	}
+	cur := make([]cursor, len(s.Tasks))
+	// advance moves task i's cursor to its next mandatory release in
+	// [0, horizon), starting after job index from.
+	advance := func(i, from int) {
+		t := &s.Tasks[i]
+		for j := from + 1; ; j++ {
+			r := t.Release(j)
+			if r >= horizon {
+				cur[i] = cursor{}
+				return
 			}
-			jobs = append(jobs, MandatoryJob{
-				TaskID:   t.ID,
-				Index:    j,
-				Release:  t.Release(j),
-				Deadline: t.AbsDeadline(j),
-				WCET:     t.WCET,
-			})
+			if pattern.Mandatory(kind, j, t.M, t.K) {
+				cur[i] = cursor{j: j, release: r}
+				return
+			}
 		}
 	}
-	sortJobs(jobs)
-	return jobs
-}
-
-func sortJobs(jobs []MandatoryJob) {
-	sort.Slice(jobs, func(a, b int) bool {
-		if jobs[a].Release != jobs[b].Release {
-			return jobs[a].Release < jobs[b].Release
+	total := 0
+	for i, t := range s.Tasks {
+		if n := int((horizon-t.Offset)/t.Period) + 1; n > 0 {
+			total += n
 		}
-		return jobs[a].TaskID < jobs[b].TaskID
-	})
+		advance(i, 0)
+	}
+	jobs := make([]MandatoryJob, 0, total)
+	for {
+		// Lowest release wins; the scan order breaks ties by priority.
+		best := -1
+		for i := range cur {
+			if cur[i].j > 0 && (best < 0 || cur[i].release < cur[best].release) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return jobs
+		}
+		t := &s.Tasks[best]
+		j := cur[best].j
+		jobs = append(jobs, MandatoryJob{
+			TaskID:   t.ID,
+			Index:    j,
+			Release:  cur[best].release,
+			Deadline: t.AbsDeadline(j),
+			WCET:     t.WCET,
+		})
+		advance(best, j)
+	}
 }
 
 // SchedulableRPattern reports whether the mandatory jobs under the static

@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -93,6 +94,11 @@ type Config struct {
 	// settlement, power-state transition and permanent fault. The nil
 	// default costs the hot path nothing.
 	Sink metrics.Sink
+	// Scratch, when non-nil, supplies reusable working state (job records,
+	// queues, buffers) so batch runs avoid per-run allocations; nil means
+	// a private fresh Scratch. A Scratch must not be shared by two engines
+	// at once.
+	Scratch *Scratch
 }
 
 // Segment is one contiguous execution interval of a job copy on a
@@ -155,11 +161,15 @@ type pairKey struct {
 	index  int
 }
 
-// jobPair tracks the copies and settlement state of one logical job.
+// jobPair tracks the copies and settlement state of one logical job. In a
+// standby-sparing system a job has at most one copy per processor (main on
+// the primary, backup on the spare), so the copies array is fixed-size —
+// no per-pair slice allocation.
 type jobPair struct {
 	key     pairKey
 	class   task.Class
-	copies  []*task.Job
+	copies  [NumProcs]*task.Job
+	ncopies int
 	dl      timeu.Time
 	settled bool
 }
@@ -173,27 +183,24 @@ type processor struct {
 	energy   Energy
 }
 
-// Engine runs one simulation. Construct with New, run with Run.
+// Engine runs one simulation. Construct with New, run with Run. All
+// mutable run state lives in the Scratch (owned or borrowed), so a warm
+// Scratch makes repeated runs nearly allocation-free.
 type Engine struct {
 	set    *task.Set
 	policy Policy
 	cfg    Config
+	scr    *Scratch
 
 	now      timeu.Time
-	procs    [NumProcs]*processor
-	live     [NumProcs][]*task.Job
-	nextIdx  []int // per task: next job index to release (1-based)
-	pairs    map[pairKey]*jobPair
-	open     []*jobPair // unsettled pairs
-	outcomes [][]bool
+	procs    [NumProcs]processor
 	counters Counters
 	sink     metrics.Sink
-	trace    []Segment
 	permHit  *fault.Permanent
 	events   int
 }
 
-// New constructs an engine; call Run exactly once.
+// New constructs an engine; call Run (or RunContext) exactly once.
 func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -216,22 +223,39 @@ func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
 		}
 		cfg.MaxEvents = 64 * (jobs + 16) * NumProcs
 	}
-	e := &Engine{
-		set:      set,
-		policy:   policy,
-		cfg:      cfg,
-		sink:     cfg.Sink,
-		nextIdx:  make([]int, set.N()),
-		pairs:    make(map[pairKey]*jobPair),
-		outcomes: make([][]bool, set.N()),
+	scr := cfg.Scratch
+	if scr == nil {
+		scr = NewScratch()
 	}
-	for i := range e.nextIdx {
-		e.nextIdx[i] = 1
+	scr.prepare(set.N())
+	e := &Engine{
+		set:    set,
+		policy: policy,
+		cfg:    cfg,
+		scr:    scr,
+		sink:   cfg.Sink,
 	}
 	for p := 0; p < NumProcs; p++ {
-		e.procs[p] = &processor{id: p}
+		e.procs[p] = processor{id: p}
 	}
 	return e, nil
+}
+
+// NewJob allocates the main copy of J_ij from the run's scratch arena.
+// Policies must build copies through NewJob/NewBackup (not task.NewJob)
+// so batch runs reuse job records.
+func (e *Engine) NewJob(t task.Task, index int, class task.Class) *task.Job {
+	j := e.scr.jobs.get()
+	task.InitJob(j, t, index, class)
+	return j
+}
+
+// NewBackup allocates the backup copy of a mandatory job from the run's
+// scratch arena, postponed by theta (Eq. 3).
+func (e *Engine) NewBackup(t task.Task, index int, theta timeu.Time) *task.Job {
+	j := e.scr.jobs.get()
+	task.InitBackup(j, t, index, theta)
+	return j
 }
 
 // Now returns the current simulation time (valid inside policy hooks).
@@ -312,32 +336,38 @@ func (e *Engine) Admit(j *task.Job, proc int) {
 		proc = e.Survivor()
 	}
 	key := pairKey{j.TaskID, j.Index}
-	p, ok := e.pairs[key]
+	p, ok := e.scr.pairs[key]
 	if !ok {
-		p = &jobPair{key: key, class: j.Class, dl: j.Deadline}
-		e.pairs[key] = p
-		e.open = append(e.open, p)
+		p = e.scr.jobPairs.get()
+		*p = jobPair{key: key, class: j.Class, dl: j.Deadline}
+		e.scr.pairs[key] = p
+		e.scr.open = append(e.scr.open, p)
 	}
-	p.copies = append(p.copies, j)
-	e.live[proc] = append(e.live[proc], j)
+	if p.ncopies == len(p.copies) {
+		panic(fmt.Sprintf("sim: more than %d copies admitted for task %d job %d", len(p.copies), j.TaskID+1, j.Index))
+	}
+	p.copies[p.ncopies] = j
+	p.ncopies++
+	e.scr.live[proc] = append(e.scr.live[proc], j)
 	if j.Copy == task.Backup {
 		e.counters.BackupsCreated++
 	}
 	e.emitJob(metrics.EvAdmit, proc, j, "")
 	// New work may wake a sleeping processor (event wake; see DESIGN.md
 	// on the DPD model).
-	e.setSleep(e.procs[proc], false)
+	e.setSleep(&e.procs[proc], false)
 }
 
 // SettleSkip records a skipped optional job (never admitted) as a miss in
 // the (m,k) history. Policies call it at release time.
 func (e *Engine) SettleSkip(taskID, index int) {
 	key := pairKey{taskID, index}
-	if _, ok := e.pairs[key]; ok {
+	if _, ok := e.scr.pairs[key]; ok {
 		panic("sim: SettleSkip on an admitted job")
 	}
-	p := &jobPair{key: key, class: task.Optional, settled: true}
-	e.pairs[key] = p
+	p := e.scr.jobPairs.get()
+	*p = jobPair{key: key, class: task.Optional, settled: true}
+	e.scr.pairs[key] = p
 	e.counters.OptionalSkipped++
 	if e.sink != nil {
 		e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvSkip, Proc: -1, TaskID: taskID, Index: index, Copy: metrics.CopyNone})
@@ -348,10 +378,10 @@ func (e *Engine) SettleSkip(taskID, index int) {
 // recordOutcome appends the outcome of job index of task taskID, checking
 // the strictly-increasing-index invariant, and notifies the policy.
 func (e *Engine) recordOutcome(taskID, index int, effective bool) {
-	if got := len(e.outcomes[taskID]) + 1; got != index {
+	if got := len(e.scr.outcomes[taskID]) + 1; got != index {
 		panic(fmt.Sprintf("sim: outcome for %d-th job of task %d recorded out of order (expected %d)", index, taskID+1, got))
 	}
-	e.outcomes[taskID] = append(e.outcomes[taskID], effective)
+	e.scr.outcomes[taskID] = append(e.scr.outcomes[taskID], effective)
 	if effective {
 		e.counters.Effective++
 	} else {
@@ -365,8 +395,31 @@ func (e *Engine) recordOutcome(taskID, index int, effective bool) {
 
 // Run executes the simulation and returns the result.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// ctxCheckStride is how many event-loop iterations pass between context
+// polls: frequent enough that cancellation lands within microseconds of
+// simulated work, rare enough that the select never shows in profiles.
+const ctxCheckStride = 64
+
+// RunContext executes the simulation, honoring ctx at event-loop
+// granularity: a canceled context aborts the run within ctxCheckStride
+// events and returns ctx.Err() (wrapped), so batch drivers can tear down
+// promptly on SIGINT or deadline.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if err := e.policy.Init(e); err != nil {
 		return nil, fmt.Errorf("sim: policy init: %w", err)
+	}
+	done := ctx.Done()
+	if done != nil {
+		// Short runs can finish inside one check stride; a context that
+		// is dead on arrival must still abort.
+		select {
+		case <-done:
+			return nil, fmt.Errorf("sim: run aborted at %v: %w", e.now, ctx.Err())
+		default:
+		}
 	}
 	for {
 		e.processCompletions()
@@ -389,6 +442,13 @@ func (e *Engine) Run() (*Result, error) {
 		if e.events > e.cfg.MaxEvents {
 			return nil, fmt.Errorf("sim: event budget exceeded (%d) — runaway simulation", e.cfg.MaxEvents)
 		}
+		if done != nil && e.events%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: run aborted at %v: %w", e.now, ctx.Err())
+			default:
+			}
+		}
 	}
 	e.finish()
 	return e.result(), nil
@@ -400,23 +460,25 @@ func (e *Engine) Run() (*Result, error) {
 // the hyper period" in its worked examples (e.g. the last τ2 job of
 // Figure 3, released at 24 with deadline 28, does not execute before 25).
 func (e *Engine) processReleases() {
+	idx := e.scr.nextIdx
 	for i, t := range e.set.Tasks {
-		for t.Release(e.nextIdx[i]) == e.now && t.Release(e.nextIdx[i]) < e.cfg.Horizon {
-			if t.AbsDeadline(e.nextIdx[i]) <= e.cfg.Horizon {
+		for t.Release(idx[i]) == e.now && t.Release(idx[i]) < e.cfg.Horizon {
+			if t.AbsDeadline(idx[i]) <= e.cfg.Horizon {
 				e.counters.Released++
 				if e.sink != nil {
-					e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvRelease, Proc: -1, TaskID: i, Index: e.nextIdx[i], Copy: metrics.CopyNone})
+					e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvRelease, Proc: -1, TaskID: i, Index: idx[i], Copy: metrics.CopyNone})
 				}
-				e.policy.Release(e, t, e.nextIdx[i])
+				e.policy.Release(e, t, idx[i])
 			}
-			e.nextIdx[i]++
+			idx[i]++
 		}
 	}
 }
 
 // processCompletions finishes job copies whose demand reached zero.
 func (e *Engine) processCompletions() {
-	for _, p := range e.procs {
+	for pid := range e.procs {
+		p := &e.procs[pid]
 		j := p.cur
 		if j == nil || j.Remaining > 0 {
 			continue
@@ -448,7 +510,7 @@ func (e *Engine) processCompletions() {
 // copies (the standby-sparing cancellation that saves spare energy).
 func (e *Engine) settleEffective(j *task.Job) {
 	key := pairKey{j.TaskID, j.Index}
-	p := e.pairs[key]
+	p := e.scr.pairs[key]
 	if p.settled {
 		return
 	}
@@ -459,7 +521,7 @@ func (e *Engine) settleEffective(j *task.Job) {
 		// faulty — the standby-sparing recovery actually paying off.
 		e.counters.BackupRecoveries++
 	}
-	for _, c := range p.copies {
+	for _, c := range p.copies[:p.ncopies] {
 		if c == j || c.Done || c.Canceled {
 			continue
 		}
@@ -472,11 +534,11 @@ func (e *Engine) settleEffective(j *task.Job) {
 // still succeed, the job is settled as a miss immediately.
 func (e *Engine) copyFailed(j *task.Job) {
 	key := pairKey{j.TaskID, j.Index}
-	p := e.pairs[key]
+	p := e.scr.pairs[key]
 	if p.settled {
 		return
 	}
-	for _, c := range p.copies {
+	for _, c := range p.copies[:p.ncopies] {
 		if !c.Done && !c.Canceled {
 			return // a sibling copy may still complete
 		}
@@ -494,7 +556,7 @@ func (e *Engine) cancelCopy(c *task.Job, reason string) {
 	c.FinishTime = e.now
 	proc := -1
 	for pid := 0; pid < NumProcs; pid++ {
-		p := e.procs[pid]
+		p := &e.procs[pid]
 		if p.cur == c {
 			e.closeSegment(p, true)
 			p.cur = nil
@@ -515,17 +577,19 @@ func (e *Engine) cancelCopy(c *task.Job, reason string) {
 // processDeadlines settles every open pair whose deadline has arrived and
 // aborts its unfinished copies.
 func (e *Engine) processDeadlines() {
-	// Iterate over a snapshot: settlement mutates e.open.
-	var due []*jobPair
-	for _, p := range e.open {
+	// Iterate over a snapshot: settlement mutates e.scr.open. The snapshot
+	// buffer lives in the scratch so steady-state runs don't allocate.
+	due := e.scr.due[:0]
+	for _, p := range e.scr.open {
 		if !p.settled && p.dl <= e.now {
 			due = append(due, p)
 		}
 	}
+	e.scr.due = due
 	for _, p := range due {
 		p.settled = true
 		e.dropOpen(p)
-		for _, c := range p.copies {
+		for _, c := range p.copies[:p.ncopies] {
 			if !c.Done && !c.Canceled {
 				e.cancelCopy(c, "deadline")
 			}
@@ -543,14 +607,14 @@ func (e *Engine) processPermanentFault() {
 	e.permHit = pf
 	e.counters.PermanentFaults++
 	e.emitProc(metrics.EvPermanentFault, pf.Proc)
-	p := e.procs[pf.Proc]
+	p := &e.procs[pf.Proc]
 	if p.cur != nil {
 		e.closeSegment(p, true)
 	}
 	// Every copy on the dead processor is lost. Siblings on the survivor
 	// become the job's only chance; jobs with no surviving copy settle as
 	// misses at their deadline.
-	for _, c := range e.live[pf.Proc] {
+	for _, c := range e.scr.live[pf.Proc] {
 		c.Canceled = true
 		c.FinishTime = e.now
 		if c.Copy == task.Backup {
@@ -562,7 +626,7 @@ func (e *Engine) processPermanentFault() {
 		}
 		e.emitJob(metrics.EvCancel, pf.Proc, c, "permanent-fault")
 	}
-	e.live[pf.Proc] = nil
+	e.scr.live[pf.Proc] = e.scr.live[pf.Proc][:0]
 	p.cur = nil
 	p.dead = true
 	// The dead processor leaves the power-state machine entirely; this is
@@ -574,7 +638,8 @@ func (e *Engine) processPermanentFault() {
 // dispatch re-evaluates, on each live processor, which eligible copy runs,
 // handling preemption, and decides idle-vs-sleep for empty processors.
 func (e *Engine) dispatch() {
-	for _, p := range e.procs {
+	for pid := range e.procs {
+		p := &e.procs[pid]
 		if p.dead {
 			continue
 		}
@@ -612,7 +677,7 @@ func (e *Engine) dispatch() {
 // pick returns the policy's highest-priority runnable copy on proc.
 func (e *Engine) pick(proc int) *task.Job {
 	var best *task.Job
-	for _, j := range e.live[proc] {
+	for _, j := range e.scr.live[proc] {
 		if j.Done || j.Canceled || j.Release > e.now {
 			continue
 		}
@@ -635,7 +700,7 @@ func (e *Engine) pick(proc int) *task.Job {
 // fault), the processor wakes at assignment.
 func (e *Engine) nextWork(proc int) timeu.Time {
 	next := timeu.Infinity
-	for _, j := range e.live[proc] {
+	for _, j := range e.scr.live[proc] {
 		if j.Done || j.Canceled {
 			continue
 		}
@@ -644,7 +709,7 @@ func (e *Engine) nextWork(proc int) timeu.Time {
 		}
 	}
 	for i, t := range e.set.Tasks {
-		if r := t.Release(e.nextIdx[i]); r < e.cfg.Horizon && r < next {
+		if r := t.Release(e.scr.nextIdx[i]); r < e.cfg.Horizon && r < next {
 			next = r
 		}
 	}
@@ -660,18 +725,18 @@ func (e *Engine) nextEventTime() (timeu.Time, error) {
 		}
 	}
 	for i, t := range e.set.Tasks {
-		add(t.Release(e.nextIdx[i]))
+		add(t.Release(e.scr.nextIdx[i]))
 	}
-	for _, p := range e.procs {
-		if p.cur != nil {
-			add(e.now + p.cur.Remaining)
+	for pid := range e.procs {
+		if cur := e.procs[pid].cur; cur != nil {
+			add(e.now + cur.Remaining)
 		}
 	}
-	for _, p := range e.open {
+	for _, p := range e.scr.open {
 		add(p.dl)
 	}
 	for pid := 0; pid < NumProcs; pid++ {
-		for _, j := range e.live[pid] {
+		for _, j := range e.scr.live[pid] {
 			if j.Done || j.Canceled {
 				continue
 			}
@@ -696,7 +761,8 @@ func (e *Engine) advance(t timeu.Time) {
 	if delta < 0 {
 		panic("sim: time went backwards")
 	}
-	for _, p := range e.procs {
+	for pid := range e.procs {
+		p := &e.procs[pid]
 		switch {
 		case p.dead:
 			p.energy.DeadTime += delta
@@ -718,7 +784,8 @@ func (e *Engine) advance(t timeu.Time) {
 // before Horizon−P, and edge jobs settle here conservatively as misses
 // only when their deadline has passed).
 func (e *Engine) finish() {
-	for _, p := range e.procs {
+	for pid := range e.procs {
+		p := &e.procs[pid]
 		if p.cur != nil {
 			e.closeSegment(p, false)
 			p.cur = nil
@@ -738,7 +805,7 @@ func (e *Engine) closeSegment(p *processor, canceled bool) {
 		return
 	}
 	j := p.cur
-	e.trace = append(e.trace, Segment{
+	e.scr.trace = append(e.scr.trace, Segment{
 		Proc:     p.id,
 		TaskID:   j.TaskID,
 		Index:    j.Index,
@@ -752,11 +819,11 @@ func (e *Engine) closeSegment(p *processor, canceled bool) {
 
 // removeLive deletes j from proc's live list.
 func (e *Engine) removeLive(proc int, j *task.Job) {
-	l := e.live[proc]
+	l := e.scr.live[proc]
 	for i, x := range l {
 		if x == j {
 			l[i] = l[len(l)-1]
-			e.live[proc] = l[:len(l)-1]
+			e.scr.live[proc] = l[:len(l)-1]
 			return
 		}
 	}
@@ -764,10 +831,11 @@ func (e *Engine) removeLive(proc int, j *task.Job) {
 
 // dropOpen removes a settled pair from the open list.
 func (e *Engine) dropOpen(p *jobPair) {
-	for i, x := range e.open {
+	open := e.scr.open
+	for i, x := range open {
 		if x == p {
-			e.open[i] = e.open[len(e.open)-1]
-			e.open = e.open[:len(e.open)-1]
+			open[i] = open[len(open)-1]
+			e.scr.open = open[:len(open)-1]
 			return
 		}
 	}
@@ -789,14 +857,20 @@ func (e *Engine) result() *Result {
 		// simulation failure.
 		_ = e.sink.Flush()
 	}
+	// Outcomes and Trace are copied out of the scratch: the Result outlives
+	// this run, while the scratch buffers are rewound for the next one.
+	outcomes := make([][]bool, e.set.N())
+	for i, row := range e.scr.outcomes {
+		outcomes[i] = append([]bool(nil), row...)
+	}
 	r := &Result{
 		Policy:         e.policy.Name(),
 		Horizon:        e.cfg.Horizon,
 		Power:          e.cfg.Power,
-		Outcomes:       e.outcomes,
+		Outcomes:       outcomes,
 		ViolationAt:    make([]int, e.set.N()),
 		Counters:       e.counters,
-		Trace:          e.trace,
+		Trace:          append([]Segment(nil), e.scr.trace...),
 		PermanentFault: e.permHit,
 	}
 	for p := 0; p < NumProcs; p++ {
@@ -804,7 +878,7 @@ func (e *Engine) result() *Result {
 		r.Totals = r.Totals.Add(e.procs[p].energy)
 	}
 	for i, t := range e.set.Tasks {
-		r.ViolationAt[i] = pattern.FirstViolation(e.outcomes[i], t.M, t.K)
+		r.ViolationAt[i] = pattern.FirstViolation(outcomes[i], t.M, t.K)
 	}
 	return r
 }

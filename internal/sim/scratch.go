@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/task"
+)
+
+// arenaChunk is the allocation granularity of an arena. Chunking keeps
+// pointers stable (no reallocation moves a handed-out record) while a
+// batch of simulations amortizes each make to 64 records.
+const arenaChunk = 64
+
+// arena is a reusable bump allocator for per-run records. get hands out a
+// pointer into a chunk; the record may hold stale data from a previous
+// run, so callers must fully overwrite it. reset recycles every record
+// while retaining the chunks.
+type arena[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+func (a *arena[T]) get() *T {
+	ci, off := a.n/arenaChunk, a.n%arenaChunk
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, arenaChunk))
+	}
+	a.n++
+	return &a.chunks[ci][off]
+}
+
+func (a *arena[T]) reset() { a.n = 0 }
+
+// Scratch is the reusable working state of one engine run: job and pair
+// records, per-processor ready queues, the settlement map, outcome rows
+// and the trace buffer. A fresh engine with a warm Scratch allocates
+// (almost) nothing; Result values copy out of it, so reusing a Scratch
+// never corrupts previously returned results.
+//
+// A Scratch serves one engine at a time — share across concurrent runs
+// through a ScratchPool, never directly.
+type Scratch struct {
+	nextIdx  []int
+	pairs    map[pairKey]*jobPair
+	open     []*jobPair
+	due      []*jobPair
+	live     [NumProcs][]*task.Job
+	outcomes [][]bool
+	trace    []Segment
+	jobs     arena[task.Job]
+	jobPairs arena[jobPair]
+}
+
+// NewScratch builds an empty Scratch; it warms up over its first run.
+func NewScratch() *Scratch {
+	return &Scratch{pairs: make(map[pairKey]*jobPair)}
+}
+
+// prepare readies the scratch for a run over n tasks: every container is
+// emptied (capacity retained) and the arenas are rewound.
+func (s *Scratch) prepare(n int) {
+	if cap(s.nextIdx) < n {
+		s.nextIdx = make([]int, n)
+	}
+	s.nextIdx = s.nextIdx[:n]
+	for i := range s.nextIdx {
+		s.nextIdx[i] = 1
+	}
+	clear(s.pairs)
+	s.open = s.open[:0]
+	s.due = s.due[:0]
+	for p := 0; p < NumProcs; p++ {
+		s.live[p] = s.live[p][:0]
+	}
+	if cap(s.outcomes) < n {
+		s.outcomes = make([][]bool, n)
+	}
+	s.outcomes = s.outcomes[:n]
+	for i := range s.outcomes {
+		s.outcomes[i] = s.outcomes[i][:0]
+	}
+	s.trace = s.trace[:0]
+	s.jobs.reset()
+	s.jobPairs.reset()
+}
+
+// ScratchPool shares Scratch values between concurrent workers via a
+// sync.Pool. The zero value is unusable; use NewScratchPool.
+type ScratchPool struct {
+	pool sync.Pool
+}
+
+// NewScratchPool builds a pool that mints a fresh Scratch on demand.
+func NewScratchPool() *ScratchPool {
+	sp := &ScratchPool{}
+	sp.pool.New = func() any { return NewScratch() }
+	return sp
+}
+
+// Get borrows a Scratch; return it with Put once the run's Result has
+// been assembled. Safe on a nil pool (returns a fresh Scratch).
+func (sp *ScratchPool) Get() *Scratch {
+	if sp == nil {
+		return NewScratch()
+	}
+	return sp.pool.Get().(*Scratch)
+}
+
+// Put returns a Scratch to the pool. Safe on a nil pool (drops it).
+func (sp *ScratchPool) Put(s *Scratch) {
+	if sp == nil || s == nil {
+		return
+	}
+	sp.pool.Put(s)
+}

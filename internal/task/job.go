@@ -100,10 +100,12 @@ type Job struct {
 	Done bool
 }
 
-// NewJob builds the main copy of J_ij for task t with the given class.
-func NewJob(t Task, index int, class Class) *Job {
+// InitJob (re)initializes j in place as the main copy of J_ij for task t
+// with the given class, overwriting any previous state — the pooled engine
+// scratch reuses Job records across runs through this entry point.
+func InitJob(j *Job, t Task, index int, class Class) {
 	r := t.Release(index)
-	return &Job{
+	*j = Job{
 		TaskID:      t.ID,
 		Index:       index,
 		Copy:        Main,
@@ -116,12 +118,26 @@ func NewJob(t Task, index int, class Class) *Job {
 	}
 }
 
+// InitBackup (re)initializes j in place as the backup copy of a mandatory
+// job, postponed by theta (Eq. 3: r̃_i = r_i + θ_i).
+func InitBackup(j *Job, t Task, index int, theta timeu.Time) {
+	InitJob(j, t, index, Mandatory)
+	j.Copy = Backup
+	j.Release = j.BaseRelease + theta
+}
+
+// NewJob builds the main copy of J_ij for task t with the given class.
+func NewJob(t Task, index int, class Class) *Job {
+	j := new(Job)
+	InitJob(j, t, index, class)
+	return j
+}
+
 // NewBackup builds the backup copy of a mandatory job, postponed by theta
 // (Eq. 3: r̃_i = r_i + θ_i).
 func NewBackup(t Task, index int, theta timeu.Time) *Job {
-	j := NewJob(t, index, Mandatory)
-	j.Copy = Backup
-	j.Release = j.BaseRelease + theta
+	j := new(Job)
+	InitBackup(j, t, index, theta)
 	return j
 }
 

@@ -25,9 +25,11 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -37,7 +39,6 @@ import (
 	"repro/internal/postpone"
 	"repro/internal/rta"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/task"
 	"repro/internal/timeu"
 	"repro/internal/trace"
@@ -138,31 +139,19 @@ type RunConfig struct {
 	Options core.Options
 }
 
-// Simulate runs one task set under one approach.
+// Simulate runs one task set under one approach through the process-wide
+// default Runner (so repeated calls on the same set reuse its offline
+// analyses). Use SimulateContext for cancellation, or a dedicated Runner
+// for an isolated session.
 func Simulate(s *Set, a Approach, cfg RunConfig) (*Result, error) {
-	horizon := timeu.FromMillis(cfg.HorizonMS)
-	if horizon <= 0 {
-		horizon = s.MKHyperperiod(2000 * timeu.Millisecond)
-	}
-	plan := fault.NewPlan(cfg.Scenario, horizon, stats.NewRand(cfg.Seed))
-	if cfg.TransientRate > 0 {
-		plan.WithTransientRate(cfg.TransientRate)
-	}
-	policy, err := core.New(a, cfg.Options)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := sim.New(s, policy, sim.Config{
-		Power:       cfg.Power,
-		Horizon:     horizon,
-		Faults:      plan,
-		RecordTrace: cfg.RecordTrace,
-		Sink:        cfg.Sink,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return eng.Run()
+	return defaultRunner.Simulate(context.Background(), s, a, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: a canceled or expired
+// context aborts the run at event-loop granularity with an error wrapping
+// ctx.Err().
+func SimulateContext(ctx context.Context, s *Set, a Approach, cfg RunConfig) (*Result, error) {
+	return defaultRunner.Simulate(ctx, s, a, cfg)
 }
 
 // NewJSONLSink returns a buffered MetricsSink writing one JSON object
@@ -198,11 +187,22 @@ func VerifyTrace(s *Set, r *Result) []string { return trace.Check(s, r) }
 // Figure6 runs the paper's Figure 6 sweep for one scenario with the
 // paper's parameters. Use Sweep for full control.
 func Figure6(sc Scenario) (*Report, error) {
-	return experiment.Run(experiment.DefaultConfig(sc))
+	return Sweep(experiment.DefaultConfig(sc))
 }
 
-// Sweep runs a fully customized utilization sweep.
-func Sweep(cfg SweepConfig) (*Report, error) { return experiment.Run(cfg) }
+// Sweep runs a fully customized utilization sweep through the default
+// Runner. Use SweepContext for cancellation, or Runner.Sweep for an
+// isolated session.
+func Sweep(cfg SweepConfig) (*Report, error) {
+	return defaultRunner.Sweep(context.Background(), cfg)
+}
+
+// SweepContext is Sweep with cancellation: on a canceled or expired
+// context it returns the partial Report (the intervals completed so far,
+// in order) and an error wrapping ctx.Err().
+func SweepContext(ctx context.Context, cfg SweepConfig) (*Report, error) {
+	return defaultRunner.Sweep(ctx, cfg)
+}
 
 // DefaultSweepConfig returns the paper's Figure 6 configuration for a
 // scenario, ready for customization.
@@ -272,7 +272,55 @@ type SetSpec struct {
 	Tasks []TaskSpec `json:"tasks"`
 }
 
-// LoadSet parses a JSON task-set spec.
+// validate checks one task spec field by field, so errors point at the
+// offending JSON path ("tasks[2].wcet_ms: ...") instead of surfacing as a
+// post-hoc whole-set failure.
+func (sp TaskSpec) validate(i int) error {
+	fail := func(field, msg string) error {
+		return fmt.Errorf("repro: tasks[%d].%s: %s", i, field, msg)
+	}
+	checkMS := func(field string, v float64) error {
+		switch {
+		case math.IsNaN(v):
+			return fail(field, "is NaN")
+		case math.IsInf(v, 0):
+			return fail(field, "is infinite")
+		case v < 0:
+			return fail(field, fmt.Sprintf("is negative (%v)", v))
+		}
+		return nil
+	}
+	if err := checkMS("period_ms", sp.PeriodMS); err != nil {
+		return err
+	}
+	if sp.PeriodMS == 0 {
+		return fail("period_ms", "is missing or zero")
+	}
+	if err := checkMS("deadline_ms", sp.DeadlineMS); err != nil {
+		return err
+	}
+	if err := checkMS("wcet_ms", sp.WCETMS); err != nil {
+		return err
+	}
+	if sp.WCETMS == 0 {
+		return fail("wcet_ms", "is missing or zero")
+	}
+	if sp.K <= 0 {
+		return fail("k", fmt.Sprintf("must be positive, got %d", sp.K))
+	}
+	if sp.M <= 0 {
+		return fail("m", fmt.Sprintf("must be positive, got %d", sp.M))
+	}
+	if sp.M > sp.K {
+		return fail("m", fmt.Sprintf("exceeds k (%d > %d)", sp.M, sp.K))
+	}
+	return nil
+}
+
+// LoadSet parses a JSON task-set spec, rejecting malformed fields with
+// JSON-path error messages. Relational constraints spanning fields
+// (deadline ≤ period, wcet ≤ deadline, priority ordering) are still
+// enforced by Set.Validate as a backstop.
 func LoadSet(r io.Reader) (*Set, error) {
 	var spec SetSpec
 	dec := json.NewDecoder(r)
@@ -285,6 +333,9 @@ func LoadSet(r io.Reader) (*Set, error) {
 	}
 	ts := make([]Task, len(spec.Tasks))
 	for i, sp := range spec.Tasks {
+		if err := sp.validate(i); err != nil {
+			return nil, err
+		}
 		d := sp.DeadlineMS
 		if d == 0 {
 			d = sp.PeriodMS
@@ -302,20 +353,18 @@ func LoadSet(r io.Reader) (*Set, error) {
 // Approaches lists every implemented approach.
 func Approaches() []Approach { return core.Approaches() }
 
-// ParseApproach maps a CLI name ("st", "dp", "greedy", "selective") to an
-// Approach.
-func ParseApproach(name string) (Approach, error) {
-	switch name {
-	case "st", "ST", "MKSS-ST":
-		return ST, nil
-	case "dp", "DP", "MKSS-DP":
-		return DP, nil
-	case "greedy", "MKSS-greedy":
-		return Greedy, nil
-	case "selective", "sel", "MKSS-selective":
-		return Selective, nil
-	case "dp-background", "dpbg", "MKSS-DP-background":
-		return DPBackground, nil
-	}
-	return 0, fmt.Errorf("repro: unknown approach %q (want st|dp|greedy|selective|dp-background)", name)
-}
+// ApproachNames lists the canonical approach names ("MKSS-ST", ...), for
+// flag usage strings.
+func ApproachNames() []string { return core.ApproachNames() }
+
+// ParseApproach maps a name — canonical ("MKSS-selective"), short alias
+// ("st", "dp", "greedy", "selective", "dp-background"), or any case
+// variant thereof — to an Approach. One canonical table (shared with
+// Approach.String, MarshalText and UnmarshalText) backs every command's
+// flag parsing.
+func ParseApproach(name string) (Approach, error) { return core.ParseApproach(name) }
+
+// ParseScenario maps a fault-scenario name ("none", "permanent",
+// "permanent+transient"/"both", case-insensitive) to a Scenario; it is
+// the shared table behind every command's -scenario flag.
+func ParseScenario(name string) (Scenario, error) { return fault.ParseScenario(name) }

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timeu"
+)
+
+// CacheStats snapshots a Runner's analysis-cache counters.
+type CacheStats = analysis.CacheStats
+
+// RunnerConfig tunes a Runner. The zero value is the recommended setup.
+type RunnerConfig struct {
+	// CacheEntries bounds the offline-analysis LRU: 0 means the default
+	// capacity (analysis.DefaultCacheEntries); a negative value disables
+	// memoization entirely (every run re-derives its analyses — the
+	// pre-Runner behavior, useful for benchmarking the cache itself).
+	// The disabled cache is passed down to Sweep too, so a -nocache
+	// session is uncached end to end.
+	CacheEntries int
+}
+
+// Runner is a reusable simulation session: it memoizes per-set offline
+// analyses (R-pattern tables, RTA response/promotion times, θ intervals)
+// in a size-bounded LRU and recycles engine working state through a
+// scratch pool, so batches of Simulate calls and whole Sweeps avoid
+// re-deriving analyses and re-allocating queues run after run.
+//
+// A Runner is safe for concurrent use; results are bit-for-bit identical
+// to the free-function path (the caches only skip recomputation of pure
+// functions of the task set). The zero-configured NewRunner is what the
+// package-level Simulate/Sweep wrappers use.
+type Runner struct {
+	cache *analysis.Cache // in passthrough mode when memoization is disabled
+	pool  *sim.ScratchPool
+}
+
+// NewRunner builds a session with the given configuration.
+func NewRunner(cfg RunnerConfig) *Runner {
+	return &Runner{
+		cache: analysis.NewCache(cfg.CacheEntries),
+		pool:  sim.NewScratchPool(),
+	}
+}
+
+// Simulate runs one task set under one approach, honoring ctx at
+// event-loop granularity (a canceled context aborts the run promptly
+// with an error wrapping ctx.Err()).
+func (r *Runner) Simulate(ctx context.Context, s *Set, a Approach, cfg RunConfig) (*Result, error) {
+	var prods *analysis.Products
+	if cfg.Options.Offline == nil {
+		prods = r.cache.Get(s, analysis.Options{
+			Pattern:        cfg.Options.Pattern,
+			HyperperiodCap: cfg.Options.HyperperiodCap,
+		})
+	}
+	scr := r.pool.Get()
+	defer r.pool.Put(scr)
+	return simulate(ctx, s, a, cfg, prods, scr)
+}
+
+// Sweep runs a utilization sweep through the session's cache and scratch
+// pool. On cancellation it returns the partial Report (completed
+// intervals, in order) together with an error wrapping ctx.Err().
+func (r *Runner) Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
+	if cfg.Cache == nil {
+		cfg.Cache = r.cache
+	}
+	if cfg.ScratchPool == nil {
+		cfg.ScratchPool = r.pool
+	}
+	return experiment.RunContext(ctx, cfg)
+}
+
+// CacheStats reports the session's analysis-cache effectiveness. With
+// memoization disabled every Get counts as a miss (Capacity is negative
+// and Hits stays zero).
+func (r *Runner) CacheStats() CacheStats {
+	return r.cache.Stats()
+}
+
+// defaultRunner backs the package-level convenience functions, so plain
+// Simulate/Sweep callers share one process-wide session.
+var defaultRunner = NewRunner(RunnerConfig{})
+
+// simulate is the one code path every Simulate variant funnels through.
+// With prods == nil and scr == nil it reproduces the standalone behavior
+// exactly: fresh analyses, fresh engine state.
+func simulate(ctx context.Context, s *Set, a Approach, cfg RunConfig, prods *analysis.Products, scr *sim.Scratch) (*Result, error) {
+	horizon := timeu.FromMillis(cfg.HorizonMS)
+	if horizon <= 0 {
+		horizon = s.MKHyperperiod(2000 * timeu.Millisecond)
+	}
+	plan := fault.NewPlan(cfg.Scenario, horizon, stats.NewRand(cfg.Seed))
+	if cfg.TransientRate > 0 {
+		plan.WithTransientRate(cfg.TransientRate)
+	}
+	opts := cfg.Options
+	if opts.Offline == nil {
+		opts.Offline = prods
+	}
+	policy, err := core.New(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.New(s, policy, sim.Config{
+		Power:       cfg.Power,
+		Horizon:     horizon,
+		Faults:      plan,
+		RecordTrace: cfg.RecordTrace,
+		Sink:        cfg.Sink,
+		Scratch:     scr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunContext(ctx)
+}

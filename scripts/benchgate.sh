@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# scripts/benchgate.sh BASELINE NEW — the allocation-regression gate.
+#
+# Compares the mean allocs/op of every BenchmarkSimulate* benchmark in NEW
+# against the committed BASELINE (results/bench_baseline.txt) and fails if
+# any regressed by more than 15%. allocs/op is used because it is nearly
+# machine-independent, unlike ns/op on shared CI runners. When benchstat
+# is installed it is also run for the full (informational) comparison;
+# the gate itself never needs it, so CI works without network installs.
+set -euo pipefail
+
+baseline=$1
+new=$2
+
+if command -v benchstat >/dev/null 2>&1; then
+  benchstat "$baseline" "$new" || true
+fi
+
+awk '
+  FNR == 1 { file++ }
+  /^BenchmarkSimulate/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    v = ""
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") v = $(i - 1)
+    if (v == "") next
+    if (file == 1) { bsum[name] += v; bn[name]++ }
+    else          { nsum[name] += v; nn[name]++ }
+  }
+  END {
+    status = 0
+    checked = 0
+    for (name in nsum) {
+      mean = nsum[name] / nn[name]
+      if (!(name in bsum)) {
+        printf "%-46s %10.1f allocs/op (new benchmark, no baseline)\n", name, mean
+        continue
+      }
+      base = bsum[name] / bn[name]
+      checked++
+      printf "%-46s %10.1f -> %8.1f allocs/op (%+.1f%%)\n", name, base, mean, (mean - base) / base * 100
+      if (mean > base * 1.15) {
+        printf "FAIL: %s allocs/op regressed more than 15%% vs results/bench_baseline.txt\n", name
+        status = 1
+      }
+    }
+    if (checked == 0) {
+      print "FAIL: no BenchmarkSimulate* results to compare" > "/dev/stderr"
+      status = 1
+    }
+    exit status
+  }
+' "$baseline" "$new"

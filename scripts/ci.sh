@@ -7,7 +7,9 @@
 #
 # Steps: gofmt, go vet, go build, go test, go test -race, golden-figure
 # diff (Figures 1-5 vs results/golden/), bench smoke (one iteration of
-# every benchmark + a reduced mkbench sweep emitting BENCH_ci.json).
+# every benchmark + a reduced mkbench sweep emitting BENCH_ci.json), and
+# the allocation gate (BenchmarkSimulate* allocs/op vs the committed
+# results/bench_baseline.txt, >15% regression fails).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +58,10 @@ if [ "$fast" = 0 ]; then
   go test -bench . -benchtime 1x ./...
   go run ./cmd/mkbench -fig 6a -sets 3 -candidates 800 -q -json -jsonout "$tmp/BENCH_ci.json"
   echo "BENCH_ci.json written to $tmp (CI uploads this as an artifact)"
+
+  step "bench gate (allocs/op vs results/bench_baseline.txt)"
+  go test -run '^$' -bench 'BenchmarkSimulate' -benchmem -count 6 . > "$tmp/bench_new.txt"
+  scripts/benchgate.sh results/bench_baseline.txt "$tmp/bench_new.txt"
 fi
 
 printf '\nall checks passed\n'
