@@ -99,14 +99,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "--- Figure %s (%s): %d sets/interval, %d max candidates ---\n",
 				name, sc, *sets, *candidates)
 		}
-		t0 := time.Now()
+		t0 := time.Now() //mklint:allow determinism — wall-clock sweep timer reported in BENCH JSON
 		rep, err := runner.Sweep(ctx, cfg)
 		interrupted := err != nil && errors.Is(err, context.Canceled)
 		if err != nil && !interrupted {
 			fmt.Fprintf(os.Stderr, "mkbench: %v\n", err)
 			os.Exit(1)
 		}
-		elapsed := time.Since(t0)
+		elapsed := time.Since(t0) //mklint:allow determinism — wall-clock sweep timer reported in BENCH JSON
 		if interrupted {
 			// Partial results: print whatever intervals completed and
 			// skip the machine-readable outputs (they would be

@@ -1,0 +1,220 @@
+// Command mklint runs this repository's project-specific static analysis
+// (internal/lint) over the module and reports diagnostics as
+//
+//	file:line: [rule] message
+//
+// Usage:
+//
+//	mklint ./...                      # whole module (the CI invocation)
+//	mklint ./internal/sim/...         # one subtree
+//	mklint -json lint.json ./...      # also write the JSON artifact
+//	mklint -rules determinism ./...   # run a subset of rules
+//	mklint -list                      # print the rule catalogue
+//	mklint -scope floateq=internal/legacy/ ./...   # extra per-path scoping
+//
+// Suppress an intentional violation with a trailing or preceding comment:
+//
+//	t0 := time.Now() //mklint:allow determinism — wall-clock bench timer
+//
+// The rule name must exist and the reason must be non-empty; allows that
+// no longer suppress anything are themselves reported as stale, so
+// suppressions cannot rot silently. Exit status: 0 clean, 1 diagnostics
+// found, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonPath = flag.String("json", "", "write diagnostics as a JSON document to this path ('-' for stdout)")
+		rules    = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list     = flag.Bool("list", false, "print the rule catalogue and exit")
+		scopes   scopeFlag
+	)
+	flag.Var(&scopes, "scope", "rule=prefix[,prefix...] — additional paths where the rule is disabled (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	opts, err := buildOptions(*rules, scopes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	opts.Match, err = matcher(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		os.Exit(2)
+	}
+
+	prog, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, opts)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mklint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// buildOptions resolves the -rules subset and merges -scope additions
+// over the default scope table.
+func buildOptions(rules string, scopes scopeFlag) (lint.Options, error) {
+	opts := lint.Options{}
+	if rules != "" {
+		for _, name := range strings.Split(rules, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return opts, fmt.Errorf("unknown rule %q (try -list)", strings.TrimSpace(name))
+			}
+			opts.Analyzers = append(opts.Analyzers, a)
+		}
+	}
+	if len(scopes) > 0 {
+		merged := lint.DefaultScopes()
+		for _, s := range scopes {
+			rule, prefixes, ok := strings.Cut(s, "=")
+			if !ok || lint.ByName(rule) == nil {
+				return opts, fmt.Errorf("bad -scope %q: want rule=prefix[,prefix...] with a known rule", s)
+			}
+			for _, p := range strings.Split(prefixes, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					merged[rule] = append(merged[rule], p)
+				}
+			}
+		}
+		opts.Scopes = merged
+	}
+	return opts, nil
+}
+
+type scopeFlag []string
+
+func (s *scopeFlag) String() string     { return strings.Join(*s, " ") }
+func (s *scopeFlag) Set(v string) error { *s = append(*s, v); return nil }
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// matcher converts go-style package patterns ("./...", "./internal/sim",
+// "./internal/sim/...") into a package filter over module-relative paths.
+func matcher(root string, patterns []string) (func(*lint.Package) bool, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	type pat struct {
+		rel  string
+		tree bool
+	}
+	var pats []pat
+	for _, raw := range patterns {
+		p := pat{rel: raw}
+		if rest, ok := strings.CutSuffix(p.rel, "/..."); ok {
+			p.tree = true
+			p.rel = rest
+			if p.rel == "." || p.rel == "" {
+				pats = append(pats, pat{rel: "", tree: true})
+				continue
+			}
+		}
+		abs := p.rel
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, abs)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q lies outside the module", raw)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		p.rel = filepath.ToSlash(rel)
+		pats = append(pats, p)
+	}
+	return func(pkg *lint.Package) bool {
+		for _, p := range pats {
+			if p.tree {
+				if p.rel == "" || pkg.Rel == p.rel || strings.HasPrefix(pkg.Rel, p.rel+"/") {
+					return true
+				}
+			} else if pkg.Rel == p.rel {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// jsonDoc is the machine-readable diagnostics artifact CI uploads.
+type jsonDoc struct {
+	Schema      string            `json:"schema"`
+	Count       int               `json:"count"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	doc := jsonDoc{Schema: "mklint/v1", Count: len(diags), Diagnostics: diags}
+	if doc.Diagnostics == nil {
+		doc.Diagnostics = []lint.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -79,7 +79,7 @@ func run(ctx context.Context, o options) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //mklint:allow errdrop — read-only handle; a close failure cannot lose data
 		s, err = repro.LoadSet(f)
 		if err != nil {
 			return err
@@ -118,7 +118,13 @@ func run(ctx context.Context, o options) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() {
+			// The events file is an output artifact: surface close
+			// failures (ENOSPC, NFS flush) instead of dropping them.
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mksim: closing %s: %v\n", o.events, err)
+			}
+		}()
 		sink := repro.NewJSONLSink(f)
 		cfg.Sink = sink
 		defer func() {

@@ -9,11 +9,12 @@ import (
 	"log"
 
 	"repro"
+	"repro/internal/timeu"
 )
 
 func check(name string, got, want float64) {
 	status := "OK"
-	if got != want {
+	if !timeu.ApproxEq(got, want) {
 		status = "MISMATCH"
 	}
 	fmt.Printf("  %-55s got %5.1f, paper %5.1f   [%s]\n", name, got, want, status)

@@ -405,7 +405,7 @@ func (r *Report) MaxGain(a, b core.Approach) (float64, workload.Interval) {
 	best := 0.0
 	var at workload.Interval
 	for _, row := range r.Rows {
-		if len(row.Sets) == 0 || row.NormMean[b] == 0 {
+		if len(row.Sets) == 0 || timeu.ApproxZero(row.NormMean[b]) {
 			continue
 		}
 		g := 1 - row.NormMean[a]/row.NormMean[b]

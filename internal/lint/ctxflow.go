@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const ruleCtxFlow = "ctxflow"
+
+// CtxFlow enforces the context plumbing conventions the cancellable batch
+// API established: context.Context travels as the first parameter of a
+// call chain (never inside a struct, which hides lifetimes and defeats
+// per-call deadlines), and a function named *Context — the
+// SimulateContext/SweepContext/RunContext naming convention for the
+// ctx-accepting variant of an API — must actually accept one first.
+var CtxFlow = &Analyzer{
+	Name: ruleCtxFlow,
+	Doc:  "context.Context is a first parameter, never a struct field; *Context functions take one",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				p.checkCtxParams(n.Type, n.Name.Name)
+			case *ast.FuncLit:
+				p.checkCtxParams(n.Type, "")
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, field := range n.Fields.List {
+					if p.isCtxExpr(field.Type) {
+						p.Reportf(ruleCtxFlow, field.Pos(),
+							"context.Context stored in a struct outlives the call it belongs to; pass it as the first parameter instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams verifies ctx-first ordering and, for functions named
+// *Context, that a context parameter exists at all.
+func (p *Pass) checkCtxParams(ft *ast.FuncType, name string) {
+	idx := 0
+	firstIsCtx := false
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if p.isCtxExpr(field.Type) {
+			if idx == 0 {
+				firstIsCtx = true
+			} else {
+				p.Reportf(ruleCtxFlow, field.Pos(),
+					"context.Context must be the first parameter, not parameter %d", idx+1)
+			}
+		}
+		idx += n
+	}
+	if name != "" && name != "Context" && strings.HasSuffix(name, "Context") && !firstIsCtx {
+		p.Reportf(ruleCtxFlow, ft.Pos(),
+			"%s follows the *Context naming convention but does not take a context.Context first parameter", name)
+	}
+}
+
+// isCtxExpr reports whether the type expression denotes context.Context.
+func (p *Pass) isCtxExpr(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+const ruleDeterminism = "determinism"
+
+// randPackages are the only packages allowed to hold randomness: they own
+// seeded generator streams (stats.Rand and, if ever needed, a seeded
+// *math/rand.Rand). Everything else must take drawn values or a stream as
+// input so that a single master seed reproduces every run bit-exactly.
+var randPackages = map[string]bool{
+	"internal/fault":    true,
+	"internal/workload": true,
+	"internal/stats":    true,
+}
+
+// orderedOutputPackages produce deterministic, golden-compared output
+// (event streams, Gantt charts, report tables); iterating a map there
+// feeds Go's randomized iteration order straight into the goldens.
+var orderedOutputPrefixes = []string{
+	"internal/sim",
+	"internal/trace",
+	"internal/experiment",
+}
+
+// Determinism enforces seeded-only randomness and wall-clock-free
+// simulation code: the paper's Figures 1-5 are golden-compared bit
+// exactly, so any hidden entropy source (time.Now, the global math/rand
+// state, map iteration order) eventually breaks the reproduction.
+var Determinism = &Analyzer{
+	Name: ruleDeterminism,
+	Doc:  "no wall-clock reads, unseeded randomness, or map-order-dependent output in simulator code",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	rel := p.Pkg.Rel
+	randOK := randPackages[rel]
+	ordered := false
+	for _, prefix := range orderedOutputPrefixes {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			ordered = true
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		if !randOK {
+			for _, imp := range f.Ast.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(ruleDeterminism, imp.Pos(),
+						"import of %s outside the sanctioned randomness packages (internal/fault, internal/workload, internal/stats); take a seeded stream as input instead", path)
+				}
+			}
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := p.Callee(n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" {
+						p.Reportf(ruleDeterminism, n.Pos(),
+							"wall-clock time.%s breaks reproducibility; derive instants from simulated time, or annotate an intentional timer with //mklint:allow determinism — <reason>", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					// Sanctioned packages own their streams and may call
+					// rand.New/NewSource to build them; everywhere else even
+					// the top-level helpers (which share global state) are out.
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randOK {
+						p.Reportf(ruleDeterminism, n.Pos(),
+							"global %s.%s draws from shared unseeded state; use a seeded stream owned by the component (stats.Rand)", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if !ordered || n.X == nil {
+					return true
+				}
+				if t := p.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(ruleDeterminism, n.Pos(),
+							"map iteration order is randomized and this package feeds ordered (golden-compared) output; iterate a sorted slice of keys instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const ruleErrDrop = "errdrop"
+
+// ErrDrop flags calls whose error result is silently discarded — a bare
+// call statement, or a deferred/spawned call dropping its error. An
+// explicit `_ = f()` is visible intent and is not flagged. The fmt print
+// family and the never-failing in-memory writers (strings.Builder,
+// bytes.Buffer) are exempt.
+var ErrDrop = &Analyzer{
+	Name: ruleErrDrop,
+	Doc:  "no silently discarded error returns (use _ = f() to discard on purpose)",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(p, call) || errDropExempt(p, call) {
+				return true
+			}
+			p.Reportf(ruleErrDrop, call.Pos(),
+				"error result of %s is silently discarded; handle it or discard explicitly with _ =", callName(p, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call produces at least one error among
+// its results.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface) && t.String() == "error"
+}
+
+// errDropExempt lists callees whose dropped error is conventional: the
+// fmt print family and writers that document they never fail.
+func errDropExempt(p *Pass, call *ast.CallExpr) bool {
+	fn := p.Callee(call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return recv == "*strings.Builder" || recv == "*bytes.Buffer"
+}
+
+// callName renders a readable callee name for the diagnostic.
+func callName(p *Pass, call *ast.CallExpr) string {
+	if fn := p.Callee(call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "the call"
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const ruleFloatEq = "floateq"
+
+// FloatEq flags exact equality comparisons between floating-point values.
+// Simulated time is integer microseconds (timeu.Time) precisely so that
+// scheduling comparisons are exact; float quantities that remain
+// (utilizations, energies, milliseconds for reporting) accumulate
+// rounding error, and == / != on them silently becomes
+// platform-dependent. internal/timeu owns the tolerance helpers
+// (timeu.ApproxEq / timeu.ApproxZero) and is the one package exempt via
+// the default scope table.
+var FloatEq = &Analyzer{
+	Name: ruleFloatEq,
+	Doc:  "no exact ==/!= on floating-point values outside internal/timeu's tolerance helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			// Two constants fold exactly at compile time.
+			if p.constExpr(be.X) && p.constExpr(be.Y) {
+				return true
+			}
+			p.Reportf(ruleFloatEq, be.OpPos,
+				"exact float %s is tolerance-unsafe; compare through timeu.ApproxEq/ApproxZero, or keep the quantity in integer timeu.Time", be.Op)
+			return true
+		})
+	}
+}
+
+func (p *Pass) constExpr(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const ruleHotPath = "hotpath"
+
+// HotPath guards the allocation-free event loop. Functions (or whole
+// files) tagged //mklint:hotpath — the sim engine's per-event machinery,
+// the Scratch arenas, the rta k-way merge — bought Simulate down to a
+// handful of allocs/op; this rule flags the constructs that silently undo
+// that: fmt formatting (allocates and reflects), any reflect use,
+// appends that box concrete values into interface slices, and escaping
+// closures that capture locals. Formatting inside a panic call is exempt:
+// a panic path never executes in a healthy run.
+var HotPath = &Analyzer{
+	Name: ruleHotPath,
+	Doc:  "no fmt, reflect, interface-boxing appends or escaping capturing closures in //mklint:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !p.Hot(fd) || fd.Body == nil {
+				continue
+			}
+			p.checkHotFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) checkHotFunc(decl *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(n, stack)
+		case *ast.FuncLit:
+			p.checkHotFuncLit(n, stack, decl)
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotCall(call *ast.CallExpr, stack []ast.Node) {
+	if p.IsBuiltin(call, "append") {
+		p.checkBoxingAppend(call)
+		return
+	}
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if !underPanic(p, stack) {
+			p.Reportf(ruleHotPath, call.Pos(),
+				"fmt.%s allocates and reflects inside a //mklint:hotpath function; precompute the string or move formatting off the hot path", fn.Name())
+		}
+	case "reflect":
+		p.Reportf(ruleHotPath, call.Pos(),
+			"reflect.%s inside a //mklint:hotpath function; hot paths must stay monomorphic", fn.Name())
+	}
+}
+
+// underPanic reports whether the innermost enclosing call chain passes
+// through a builtin panic(...) argument.
+func underPanic(p *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok && p.IsBuiltin(call, "panic") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBoxingAppend flags append(s, v) where s is an interface slice and
+// v a concrete value: each such append heap-boxes v.
+func (p *Pass) checkBoxingAppend(call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	slice, ok := typeAsSlice(p.TypeOf(call.Args[0]))
+	if !ok {
+		return
+	}
+	if _, ok := slice.Elem().Underlying().(*types.Interface); !ok {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // s... spread of an existing slice does not box
+	}
+	for _, arg := range call.Args[1:] {
+		t := p.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		p.Reportf(ruleHotPath, arg.Pos(),
+			"append boxes concrete %s into an interface slice inside a //mklint:hotpath function", t)
+	}
+}
+
+func typeAsSlice(t types.Type) (*types.Slice, bool) {
+	if t == nil {
+		return nil, false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return s, ok
+}
+
+// checkHotFuncLit flags closures that both escape (passed, returned,
+// stored, deferred) and capture variables of the enclosing function: each
+// event-loop pass then allocates a fresh closure + captured environment.
+// Non-escaping literals stay on the stack and are free.
+func (p *Pass) checkHotFuncLit(fl *ast.FuncLit, stack []ast.Node, decl *ast.FuncDecl) {
+	if len(stack) < 2 || !escapingFuncLit(fl, stack) {
+		return
+	}
+	caps := p.captures(fl, decl)
+	if len(caps) == 0 {
+		return
+	}
+	p.Reportf(ruleHotPath, fl.Pos(),
+		"escaping closure captures %s inside a //mklint:hotpath function; it allocates per call — hoist the state or pass it as parameters", strings.Join(caps, ", "))
+}
+
+func escapingFuncLit(fl *ast.FuncLit, stack []ast.Node) bool {
+	parent := stack[len(stack)-2]
+	switch par := parent.(type) {
+	case *ast.CallExpr:
+		if par.Fun == fl {
+			// Immediately invoked: free unless deferred/spawned.
+			if len(stack) >= 3 {
+				switch stack[len(stack)-3].(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return true
+				}
+			}
+			return false
+		}
+		return true // passed as an argument
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, lhs := range par.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				return true // stored into a field, map or slice element
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// captures lists variables of the enclosing function the literal closes
+// over (parameters, receiver and locals declared outside the literal).
+func (p *Pass) captures(fl *ast.FuncLit, decl *ast.FuncDecl) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fl.Pos() && pos < fl.End() {
+			return true // declared inside the literal
+		}
+		if pos < decl.Pos() || pos >= decl.End() {
+			return true // package-level or foreign
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}

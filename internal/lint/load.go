@@ -1,0 +1,235 @@
+// Package lint is a small stdlib-only static-analysis framework for this
+// repository. It loads every package of the module with go/parser,
+// type-checks it with go/types (module-internal imports resolved from the
+// parsed tree, standard-library imports through the source importer), and
+// runs a registry of project-specific analyzers that encode the
+// reproduction's invariants: simulator determinism, tolerance-safe float
+// time arithmetic, context plumbing discipline, hot-path hygiene, error
+// handling, and debug-print policing. See cmd/mklint for the CLI and
+// DESIGN.md for the rule catalogue.
+//
+// The framework deliberately avoids golang.org/x/tools: the repo is
+// stdlib-only, and the subset of the analysis API the rules need (a typed
+// AST per package plus positions) is exactly what go/types already
+// provides.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file of a loaded package.
+type File struct {
+	Ast *ast.File
+	// Name is the absolute filename, Rel the slash-separated path
+	// relative to the module root (the form diagnostics print).
+	Name string
+	Rel  string
+}
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// ImportPath is the full import path, Rel the slash-separated
+	// directory relative to the module root ("" for the root package).
+	ImportPath string
+	Rel        string
+	Dir        string
+	Files      []*File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Program is the loaded module: every non-test package, parsed and
+// type-checked against a single FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Root     string // absolute module root
+	Module   string // module path from go.mod
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// Load parses and type-checks every package under root (the directory
+// containing go.mod). Test files (_test.go) and testdata directories are
+// skipped: the invariants the analyzers enforce are production-code
+// invariants, and fixtures under testdata are deliberately violating
+// them.
+func Load(root string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Root:   abs,
+		Module: module,
+		byPath: make(map[string]*Package),
+	}
+	if err := prog.discover(); err != nil {
+		return nil, err
+	}
+	c := &checker{
+		prog:  prog,
+		src:   importer.ForCompiler(prog.Fset, "source", nil),
+		state: make(map[string]int),
+	}
+	for _, p := range prog.Packages {
+		if _, err := c.ensure(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// discover walks the module tree, parsing every directory that holds
+// non-test Go files into a Package (types filled in later).
+func (prog *Program) discover() error {
+	err := filepath.WalkDir(prog.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != prog.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		return prog.parseDir(path)
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].ImportPath < prog.Packages[j].ImportPath
+	})
+	return nil
+}
+
+// parseDir parses dir into a Package if it contains non-test Go files.
+func (prog *Program) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(prog.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		rel, err := filepath.Rel(prog.Root, full)
+		if err != nil {
+			return err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return fmt.Errorf("lint: %s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, &File{Ast: f, Name: full, Rel: filepath.ToSlash(rel)})
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	relDir, err := filepath.Rel(prog.Root, dir)
+	if err != nil {
+		return err
+	}
+	relDir = filepath.ToSlash(relDir)
+	if relDir == "." {
+		relDir = ""
+	}
+	ip := prog.Module
+	if relDir != "" {
+		ip = prog.Module + "/" + relDir
+	}
+	p := &Package{ImportPath: ip, Rel: relDir, Dir: dir, Files: files}
+	prog.Packages = append(prog.Packages, p)
+	prog.byPath[ip] = p
+	return nil
+}
+
+// checker type-checks module packages in dependency order. It is the
+// types.Importer handed to go/types: module-internal import paths resolve
+// to the parsed tree, everything else (the standard library) falls back
+// to the source importer, which shares the program's FileSet.
+type checker struct {
+	prog  *Program
+	src   types.Importer
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+func (c *checker) Import(path string) (*types.Package, error) {
+	if p, ok := c.prog.byPath[path]; ok {
+		return c.ensure(p)
+	}
+	return c.src.Import(path)
+}
+
+func (c *checker) ensure(p *Package) (*types.Package, error) {
+	switch c.state[p.ImportPath] {
+	case 2:
+		return p.Types, nil
+	case 1:
+		return nil, fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+	}
+	c.state[p.ImportPath] = 1
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: c}
+	asts := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		asts[i] = f.Ast
+	}
+	tpkg, err := conf.Check(p.ImportPath, c.prog.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	c.state[p.ImportPath] = 2
+	return tpkg, nil
+}

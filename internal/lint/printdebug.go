@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+const rulePrintDebug = "printdebug"
+
+// PrintDebug flags stray fmt.Print/Printf/Println calls and the print /
+// println builtins: library code must report through returned values,
+// metrics sinks or an injected io.Writer. Command mains, examples and the
+// trace renderer are exempt through the default scope table — those are
+// the sanctioned places where human-facing output belongs.
+var PrintDebug = &Analyzer{
+	Name: rulePrintDebug,
+	Doc:  "no stray stdout printing outside cmd/, examples/ and internal/trace",
+	Run:  runPrintDebug,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runPrintDebug(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.IsBuiltin(call, "print") || p.IsBuiltin(call, "println") {
+				p.Reportf(rulePrintDebug, call.Pos(),
+					"builtin print/println writes to stderr and is for bootstrap debugging only; remove it")
+				return true
+			}
+			fn := p.Callee(call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()] {
+				p.Reportf(rulePrintDebug, call.Pos(),
+					"fmt.%s writes to process stdout from library code; return the value, emit a metrics event, or write to an injected io.Writer", fn.Name())
+			}
+			return true
+		})
+	}
+}

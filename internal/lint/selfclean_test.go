@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoSelfClean asserts the module mklint ships with is itself clean:
+// every analyzer over every package yields zero diagnostics. This is the
+// same check CI's lint job runs via `go run ./cmd/mklint ./...`, kept as
+// a test so `go test ./...` alone catches regressions.
+func TestRepoSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	if len(prog.Packages) == 0 {
+		t.Fatalf("no packages loaded from %s", root)
+	}
+	diags := Run(prog, Options{})
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("  " + d.String() + "\n")
+		}
+		t.Errorf("repository is not mklint-clean (%d diagnostics):\n%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,38 @@
+// Package meta exercises mklint's own directive handling. The fixture is
+// run with the full registry so stale detection applies.
+package meta
+
+// Unknown carries an allow naming a rule that does not exist.
+func Unknown() int {
+	x := 1 //mklint:allow nosuchrule — the rule name is a typo
+	// want-above allow "unknown rule"
+	return x
+}
+
+// NoReason carries an allow without a justification.
+func NoReason() int {
+	y := 2 //mklint:allow floateq
+	// want-above allow "missing a reason"
+	return y
+}
+
+// Stale carries an allow that suppresses nothing.
+func Stale() int {
+	z := 3 //mklint:allow determinism — nothing here reads the clock
+	// want-above allow "stale allow"
+	return z
+}
+
+// BadVerb carries a directive mklint does not know.
+func BadVerb() int {
+	w := 4 //mklint:frobnicate
+	// want-above allow "unknown mklint directive"
+	return w
+}
+
+// BadHotArg passes a bad argument to the hotpath directive.
+func BadHotArg() int {
+	v := 5 //mklint:hotpath whole
+	// want-above allow "takes no argument"
+	return v
+}

@@ -1,0 +1,34 @@
+// Package api exercises the context plumbing conventions.
+package api
+
+import "context"
+
+// Lookup takes ctx in the wrong position.
+func Lookup(name string, ctx context.Context) error { // want ctxflow "must be the first parameter"
+	return ctx.Err()
+}
+
+// Holder hides a context inside a struct.
+type Holder struct {
+	ctx context.Context // want ctxflow "stored in a struct"
+}
+
+// RunContext promises a ctx-accepting variant but takes none.
+func RunContext(name string) error { // want ctxflow "naming convention"
+	return nil
+}
+
+// Visit closures follow the same ordering rule.
+var Visit = func(n int, ctx context.Context) error { // want ctxflow "must be the first parameter"
+	return ctx.Err()
+}
+
+// Good is the sanctioned shape.
+func Good(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// LegacyHolder is grandfathered while a migration completes.
+type LegacyHolder struct {
+	ctx context.Context //mklint:allow ctxflow — legacy carrier until the batch API migration lands
+}

@@ -1,0 +1,9 @@
+// Command tool times its own work on purpose and says so.
+package main
+
+import "time"
+
+func main() {
+	t0 := time.Now()   //mklint:allow determinism — operator-facing wall-clock timer
+	_ = time.Since(t0) //mklint:allow determinism — operator-facing wall-clock timer
+}

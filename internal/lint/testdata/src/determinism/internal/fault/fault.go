@@ -1,0 +1,15 @@
+// Package fault is one of the sanctioned randomness owners: it may
+// import math/rand and build seeded streams.
+package fault
+
+import "math/rand"
+
+// Stream builds the component's seeded generator.
+func Stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw consumes an injected seeded stream.
+func Draw(rng *rand.Rand) int {
+	return rng.Intn(2)
+}

@@ -1,0 +1,19 @@
+// Package other is not sanctioned to hold randomness and does not feed
+// ordered output.
+package other
+
+import "math/rand" // want determinism "sanctioned randomness packages"
+
+// Draw uses the shared global stream.
+func Draw() int {
+	return rand.Intn(10) // want determinism "global rand.Intn"
+}
+
+// Sum is outside the ordered-output packages: map iteration is fine.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package sim mimics the simulator core: an ordered-output package whose
+// results are golden-compared, so hidden entropy sources are diagnostics.
+package sim
+
+import "time"
+
+// Stamp reads the wall clock from simulator code.
+func Stamp() (time.Time, float64) {
+	now := time.Now()                     // want determinism "wall-clock time.Now"
+	return now, time.Since(now).Seconds() // want determinism "wall-clock time.Since"
+}
+
+// Render feeds map iteration order straight into ordered output.
+func Render(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want determinism "map iteration order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Total documents an order-insensitive fold over a map.
+func Total(m map[int]int) int {
+	sum := 0
+	//mklint:allow determinism — summation is order-independent
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

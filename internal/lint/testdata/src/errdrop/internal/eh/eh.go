@@ -1,0 +1,42 @@
+// Package eh exercises silent error dropping.
+package eh
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// Drop discards the error silently.
+func Drop() {
+	work() // want errdrop "silently discarded"
+}
+
+// DeferDrop discards it in a defer.
+func DeferDrop() {
+	defer work() // want errdrop "silently discarded"
+}
+
+// GoDrop discards it in a goroutine.
+func GoDrop() {
+	go work() // want errdrop "silently discarded"
+}
+
+// Explicit makes the discard visible: not flagged.
+func Explicit() {
+	_ = work()
+}
+
+// Exempt callees never fail by contract: fmt prints and the in-memory
+// writers.
+func Exempt(sb *strings.Builder) {
+	fmt.Println("banner")
+	sb.WriteString("x")
+}
+
+// Cleanup documents a sanctioned drop.
+func Cleanup() {
+	work() //mklint:allow errdrop — best-effort cache invalidation; failure only costs a recompute
+}

@@ -1,0 +1,28 @@
+// Package calc compares float quantities the tolerance-unsafe way.
+package calc
+
+// Same compares exactly.
+func Same(a, b float64) bool {
+	return a == b // want floateq "exact float =="
+}
+
+// Diff compares exactly.
+func Diff(a, b float64) bool {
+	return a != b // want floateq "exact float !="
+}
+
+// Folded compares two constants: exact at compile time, not flagged.
+func Folded() bool {
+	const half = 0.5
+	return half == 0.25*2
+}
+
+// Sentinel documents an intentional exact zero test.
+func Sentinel(x float64) bool {
+	return x == 0 //mklint:allow floateq — exact zero is the documented "unset" sentinel
+}
+
+// Ints stay exact and are not the rule's business.
+func Ints(a, b int) bool {
+	return a == b
+}

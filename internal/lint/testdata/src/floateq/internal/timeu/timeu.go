@@ -1,0 +1,9 @@
+// Package timeu mirrors the real module's tolerance-helper home, which
+// the default scope table exempts from floateq: the helpers themselves
+// must compare exactly to implement the tolerance.
+package timeu
+
+// Eq is a sanctioned exact comparison inside the exempt package.
+func Eq(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,65 @@
+// Package hot exercises the tagged-function allocation rules.
+package hot
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Format allocates via fmt in the hot path.
+//
+//mklint:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // want hotpath "fmt.Sprintf"
+}
+
+// Kind reflects in the hot path.
+//
+//mklint:hotpath
+func Kind(v any) reflect.Type {
+	return reflect.TypeOf(v) // want hotpath "reflect.TypeOf"
+}
+
+// Box boxes ints into an interface slice.
+//
+//mklint:hotpath
+func Box(sink []any, n int) []any {
+	return append(sink, n) // want hotpath "append boxes concrete int"
+}
+
+// Spread appends an existing interface slice: no boxing.
+//
+//mklint:hotpath
+func Spread(sink []any, more []any) []any {
+	return append(sink, more...)
+}
+
+// Capture leaks a closure over n to the caller.
+//
+//mklint:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want hotpath "escaping closure captures n"
+}
+
+// Local keeps its closure on the stack: not flagged.
+//
+//mklint:hotpath
+func Local(n int) int {
+	add := func(x int) int { return x + n }
+	return add(1)
+}
+
+// Guard may format inside a panic: the path never runs when healthy.
+//
+//mklint:hotpath
+func Guard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n
+}
+
+// Cold is untagged: fmt is fine off the hot path.
+func Cold(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,16 @@
+// This whole file is hot (Scratch-style arena helpers).
+//
+//mklint:hotpath file
+package hot
+
+import "fmt"
+
+// Wrap formats in a function tagged via the file-wide directive.
+func Wrap(n int) string {
+	return fmt.Sprint(n) // want hotpath "fmt.Sprint"
+}
+
+// Traced documents a deliberate formatting call.
+func Traced(n int) string {
+	return fmt.Sprint(n) //mklint:allow hotpath — cold debug branch kept for support builds
+}

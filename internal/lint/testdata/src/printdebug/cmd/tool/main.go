@@ -1,0 +1,8 @@
+// Command tool may print: cmd/ is scoped out by default.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("hello")
+}

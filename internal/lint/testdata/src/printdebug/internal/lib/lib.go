@@ -1,0 +1,22 @@
+// Package lib must not print to stdout from library code.
+package lib
+
+import "fmt"
+
+// Shout prints from library code.
+func Shout() {
+	fmt.Println("debug") // want printdebug "fmt.Println"
+	print("raw")         // want printdebug "builtin print"
+}
+
+// Banner documents intentional stdout output.
+func Banner() {
+	fmt.Print("banner") //mklint:allow printdebug — one-time banner the operator asked for
+}
+
+// Timer carries an allow for a rule outside this run: the single-rule
+// harness must not report it stale.
+func Timer() int {
+	v := 5 //mklint:allow determinism — exercised only when determinism runs
+	return v
+}

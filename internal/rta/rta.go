@@ -153,6 +153,8 @@ type MandatoryJob struct {
 // output is a k-way merge of per-task streams rather than a sort of their
 // concatenation — the generator's schedulability filter calls this once
 // per candidate and the sort used to dominate whole-sweep profiles.
+//
+//mklint:hotpath
 func MandatoryJobs(s *task.Set, kind pattern.Kind, horizon timeu.Time) []MandatoryJob {
 	type cursor struct {
 		j       int // next mandatory job index (1-based); 0 = exhausted
@@ -234,6 +236,8 @@ func SchedulableRPattern(s *task.Set, kind pattern.Kind, cap timeu.Time) bool {
 // release time. The simulation walks release/completion events; at each
 // instant the highest-priority (lowest TaskID, then earliest index)
 // pending job runs.
+//
+//mklint:hotpath
 func simulateFP(s *task.Set, jobs []MandatoryJob, horizon timeu.Time) bool {
 	type active struct {
 		j         MandatoryJob
@@ -297,6 +301,8 @@ func simulateFP(s *task.Set, jobs []MandatoryJob, horizon timeu.Time) bool {
 
 // maxDeadline bounds how far past the horizon the simulation may need to
 // run to drain jobs released just before it.
+//
+//mklint:hotpath
 func maxDeadline(s *task.Set) timeu.Time {
 	var d timeu.Time
 	for _, t := range s.Tasks {

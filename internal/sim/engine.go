@@ -244,6 +244,8 @@ func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
 // NewJob allocates the main copy of J_ij from the run's scratch arena.
 // Policies must build copies through NewJob/NewBackup (not task.NewJob)
 // so batch runs reuse job records.
+//
+//mklint:hotpath
 func (e *Engine) NewJob(t task.Task, index int, class task.Class) *task.Job {
 	j := e.scr.jobs.get()
 	task.InitJob(j, t, index, class)
@@ -252,6 +254,8 @@ func (e *Engine) NewJob(t task.Task, index int, class task.Class) *task.Job {
 
 // NewBackup allocates the backup copy of a mandatory job from the run's
 // scratch arena, postponed by theta (Eq. 3).
+//
+//mklint:hotpath
 func (e *Engine) NewBackup(t task.Task, index int, theta timeu.Time) *task.Job {
 	j := e.scr.jobs.get()
 	task.InitBackup(j, t, index, theta)
@@ -287,6 +291,8 @@ func (e *Engine) Counters() *Counters { return &e.counters }
 // emitJob sends a job-copy event to the sink, if one is attached. The
 // nil-sink check keeps the hot path allocation- and work-free when the
 // run is not being observed.
+//
+//mklint:hotpath
 func (e *Engine) emitJob(kind metrics.EventKind, proc int, j *task.Job, note string) {
 	if e.sink == nil {
 		return
@@ -303,6 +309,8 @@ func (e *Engine) emitJob(kind metrics.EventKind, proc int, j *task.Job, note str
 }
 
 // emitProc sends a processor-scoped event (sleep/wake/permanent fault).
+//
+//mklint:hotpath
 func (e *Engine) emitProc(kind metrics.EventKind, proc int) {
 	if e.sink == nil {
 		return
@@ -313,6 +321,8 @@ func (e *Engine) emitProc(kind metrics.EventKind, proc int) {
 // setSleep flips a processor's DPD state, counting and reporting the
 // transition. Entering the low-power state and waking out of it are the
 // two power-state transitions of the paper's DPD model.
+//
+//mklint:hotpath
 func (e *Engine) setSleep(p *processor, asleep bool) {
 	if p.asleep == asleep {
 		return
@@ -331,6 +341,8 @@ func (e *Engine) setSleep(p *processor, asleep bool) {
 // the same logical job (same task and index) are paired automatically:
 // the first successful completion settles the job effective and cancels
 // the other copies. If proc is dead the copy is routed to the survivor.
+//
+//mklint:hotpath
 func (e *Engine) Admit(j *task.Job, proc int) {
 	if e.procs[proc].dead {
 		proc = e.Survivor()
@@ -360,6 +372,8 @@ func (e *Engine) Admit(j *task.Job, proc int) {
 
 // SettleSkip records a skipped optional job (never admitted) as a miss in
 // the (m,k) history. Policies call it at release time.
+//
+//mklint:hotpath
 func (e *Engine) SettleSkip(taskID, index int) {
 	key := pairKey{taskID, index}
 	if _, ok := e.scr.pairs[key]; ok {
@@ -377,6 +391,8 @@ func (e *Engine) SettleSkip(taskID, index int) {
 
 // recordOutcome appends the outcome of job index of task taskID, checking
 // the strictly-increasing-index invariant, and notifies the policy.
+//
+//mklint:hotpath
 func (e *Engine) recordOutcome(taskID, index int, effective bool) {
 	if got := len(e.scr.outcomes[taskID]) + 1; got != index {
 		panic(fmt.Sprintf("sim: outcome for %d-th job of task %d recorded out of order (expected %d)", index, taskID+1, got))
@@ -459,6 +475,8 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 // accounts whole jobs only, matching how the paper counts energy "within
 // the hyper period" in its worked examples (e.g. the last τ2 job of
 // Figure 3, released at 24 with deadline 28, does not execute before 25).
+//
+//mklint:hotpath
 func (e *Engine) processReleases() {
 	idx := e.scr.nextIdx
 	for i, t := range e.set.Tasks {
@@ -476,6 +494,8 @@ func (e *Engine) processReleases() {
 }
 
 // processCompletions finishes job copies whose demand reached zero.
+//
+//mklint:hotpath
 func (e *Engine) processCompletions() {
 	for pid := range e.procs {
 		p := &e.procs[pid]
@@ -508,6 +528,8 @@ func (e *Engine) processCompletions() {
 
 // settleEffective marks the logical job effective and cancels sibling
 // copies (the standby-sparing cancellation that saves spare energy).
+//
+//mklint:hotpath
 func (e *Engine) settleEffective(j *task.Job) {
 	key := pairKey{j.TaskID, j.Index}
 	p := e.scr.pairs[key]
@@ -532,6 +554,8 @@ func (e *Engine) settleEffective(j *task.Job) {
 
 // copyFailed handles a copy that completed faulty: if no other copy can
 // still succeed, the job is settled as a miss immediately.
+//
+//mklint:hotpath
 func (e *Engine) copyFailed(j *task.Job) {
 	key := pairKey{j.TaskID, j.Index}
 	p := e.scr.pairs[key]
@@ -551,6 +575,8 @@ func (e *Engine) copyFailed(j *task.Job) {
 // cancelCopy removes a pending/running copy from the system; reason is a
 // static annotation for the event stream ("sibling-effective",
 // "deadline", "permanent-fault").
+//
+//mklint:hotpath
 func (e *Engine) cancelCopy(c *task.Job, reason string) {
 	c.Canceled = true
 	c.FinishTime = e.now
@@ -576,6 +602,8 @@ func (e *Engine) cancelCopy(c *task.Job, reason string) {
 
 // processDeadlines settles every open pair whose deadline has arrived and
 // aborts its unfinished copies.
+//
+//mklint:hotpath
 func (e *Engine) processDeadlines() {
 	// Iterate over a snapshot: settlement mutates e.scr.open. The snapshot
 	// buffer lives in the scratch so steady-state runs don't allocate.
@@ -637,6 +665,8 @@ func (e *Engine) processPermanentFault() {
 
 // dispatch re-evaluates, on each live processor, which eligible copy runs,
 // handling preemption, and decides idle-vs-sleep for empty processors.
+//
+//mklint:hotpath
 func (e *Engine) dispatch() {
 	for pid := range e.procs {
 		p := &e.procs[pid]
@@ -675,6 +705,8 @@ func (e *Engine) dispatch() {
 }
 
 // pick returns the policy's highest-priority runnable copy on proc.
+//
+//mklint:hotpath
 func (e *Engine) pick(proc int) *task.Job {
 	var best *task.Job
 	for _, j := range e.scr.live[proc] {
@@ -698,6 +730,8 @@ func (e *Engine) pick(proc int) *task.Job {
 // here — the scheduler knows periodic release times in advance). Should
 // work still arrive earlier (e.g. a job migrated after a permanent
 // fault), the processor wakes at assignment.
+//
+//mklint:hotpath
 func (e *Engine) nextWork(proc int) timeu.Time {
 	next := timeu.Infinity
 	for _, j := range e.scr.live[proc] {
@@ -717,6 +751,8 @@ func (e *Engine) nextWork(proc int) timeu.Time {
 }
 
 // nextEventTime computes the next instant anything can change.
+//
+//mklint:hotpath
 func (e *Engine) nextEventTime() (timeu.Time, error) {
 	next := e.cfg.Horizon
 	add := func(t timeu.Time) {
@@ -750,12 +786,15 @@ func (e *Engine) nextEventTime() (timeu.Time, error) {
 		add(pf.At)
 	}
 	if next <= e.now && e.now < e.cfg.Horizon {
+		//mklint:allow hotpath — stall diagnostic on a should-never-happen error path
 		return 0, fmt.Errorf("sim: stalled at %v (no future event)", e.now)
 	}
 	return next, nil
 }
 
 // advance moves time to t, accruing energy and execution progress.
+//
+//mklint:hotpath
 func (e *Engine) advance(t timeu.Time) {
 	delta := t - e.now
 	if delta < 0 {
@@ -800,6 +839,8 @@ func (e *Engine) finish() {
 
 // closeSegment records the current execution segment of processor p
 // (no-op unless tracing is enabled and the segment has positive length).
+//
+//mklint:hotpath
 func (e *Engine) closeSegment(p *processor, canceled bool) {
 	if !e.cfg.RecordTrace || p.cur == nil || p.curStart == e.now {
 		return
@@ -818,6 +859,8 @@ func (e *Engine) closeSegment(p *processor, canceled bool) {
 }
 
 // removeLive deletes j from proc's live list.
+//
+//mklint:hotpath
 func (e *Engine) removeLive(proc int, j *task.Job) {
 	l := e.scr.live[proc]
 	for i, x := range l {
@@ -830,6 +873,8 @@ func (e *Engine) removeLive(proc int, j *task.Job) {
 }
 
 // dropOpen removes a settled pair from the open list.
+//
+//mklint:hotpath
 func (e *Engine) dropOpen(p *jobPair) {
 	open := e.scr.open
 	for i, x := range open {

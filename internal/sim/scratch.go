@@ -1,5 +1,9 @@
 package sim
 
+// Every function in this file is per-run working-state machinery reused
+// across batch runs; keep it allocation-free.
+//mklint:hotpath file
+
 import (
 	"sync"
 

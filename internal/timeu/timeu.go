@@ -62,6 +62,29 @@ func (t Time) String() string {
 	return s + "ms"
 }
 
+// FloatTol is the default tolerance of the floating-point comparison
+// helpers: fine enough to distinguish any two distinct paper quantities
+// (which are multiples of 1 µs = 1e-3 ms), coarse enough to absorb the
+// rounding error of the reporting-side float arithmetic.
+const FloatTol = 1e-9
+
+// ApproxEq reports whether two float64 quantities are equal within
+// FloatTol, scaled by magnitude for large values. It is the sanctioned
+// float comparison: the floateq lint rule flags raw == / != on floats
+// everywhere outside this package.
+func ApproxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= FloatTol*scale
+}
+
+// ApproxZero reports whether x is zero within FloatTol — the tolerance-
+// safe form of the "field missing or zero" sentinel checks on float
+// inputs.
+func ApproxZero(x float64) bool { return math.Abs(x) <= FloatTol }
+
 // Min returns the smaller of a and b.
 func Min(a, b Time) Time {
 	if a < b {

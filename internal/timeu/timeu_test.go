@@ -191,3 +191,39 @@ func TestCeilDivProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{0.1 + 0.2, 0.3, true},         // the canonical rounding case
+		{1e9 + 0.5, 1e9 + 0.5, true},   // relative tolerance at large scale
+		{1e9, 1e9 * (1 + 1e-12), true}, // within relative tolerance
+		{1, 1 + 1e-6, false},           // outside tolerance
+		{0, 1e-8, false},               // absolute tolerance near zero
+		{0, FloatTol / 2, true},
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApproxZero(t *testing.T) {
+	for _, c := range []struct {
+		x    float64
+		want bool
+	}{
+		{0, true}, {FloatTol / 2, true}, {-FloatTol / 2, true},
+		{1e-8, false}, {-1e-8, false}, {1, false},
+	} {
+		if got := ApproxZero(c.x); got != c.want {
+			t.Errorf("ApproxZero(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

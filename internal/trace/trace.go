@@ -154,7 +154,9 @@ func Check(s *task.Set, r *sim.Result) []string {
 		taskID, index int
 		copyKind      task.Copy
 	}
-	perProc := map[int][]sim.Segment{}
+	// Indexed by processor (not a map): problems must list in stable
+	// processor order run after run.
+	perProc := make([][]sim.Segment, sim.NumProcs)
 	for _, seg := range r.Trace {
 		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
 	}

@@ -293,7 +293,7 @@ func (sp TaskSpec) validate(i int) error {
 	if err := checkMS("period_ms", sp.PeriodMS); err != nil {
 		return err
 	}
-	if sp.PeriodMS == 0 {
+	if timeu.ApproxZero(sp.PeriodMS) {
 		return fail("period_ms", "is missing or zero")
 	}
 	if err := checkMS("deadline_ms", sp.DeadlineMS); err != nil {
@@ -302,7 +302,7 @@ func (sp TaskSpec) validate(i int) error {
 	if err := checkMS("wcet_ms", sp.WCETMS); err != nil {
 		return err
 	}
-	if sp.WCETMS == 0 {
+	if timeu.ApproxZero(sp.WCETMS) {
 		return fail("wcet_ms", "is missing or zero")
 	}
 	if sp.K <= 0 {
@@ -337,7 +337,7 @@ func LoadSet(r io.Reader) (*Set, error) {
 			return nil, err
 		}
 		d := sp.DeadlineMS
-		if d == 0 {
+		if timeu.ApproxZero(d) {
 			d = sp.PeriodMS
 		}
 		ts[i] = task.New(i, sp.PeriodMS, d, sp.WCETMS, sp.M, sp.K)

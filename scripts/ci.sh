@@ -5,11 +5,13 @@
 #   scripts/ci.sh            # everything
 #   scripts/ci.sh -fast      # skip the race detector and bench smoke
 #
-# Steps: gofmt, go vet, go build, go test, go test -race, golden-figure
-# diff (Figures 1-5 vs results/golden/), bench smoke (one iteration of
-# every benchmark + a reduced mkbench sweep emitting BENCH_ci.json), and
-# the allocation gate (BenchmarkSimulate* allocs/op vs the committed
-# results/bench_baseline.txt, >15% regression fails).
+# Steps: gofmt -s, go vet, go build, mklint (the project's own static
+# analysis, see cmd/mklint), go test, go test -race, golden-figure diff
+# (Figures 1-5 vs results/golden/), bench smoke (one iteration of every
+# benchmark + a reduced mkbench sweep emitting BENCH_ci.json), and the
+# allocation gate (BenchmarkSimulate* allocs/op vs the committed
+# results/bench_baseline.txt, >15% regression fails). mklint runs even in
+# -fast mode: the lint pass is cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ fast=0
 step() { printf '\n== %s ==\n' "$1"; }
 
 step gofmt
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
   echo "gofmt needed on:" >&2
   echo "$unformatted" >&2
@@ -31,6 +33,9 @@ go vet ./...
 
 step "go build"
 go build ./...
+
+step "mklint"
+go run ./cmd/mklint ./...
 
 step "go test"
 go test ./...
