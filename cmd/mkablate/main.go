@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -69,8 +70,9 @@ func main() {
 
 	// All variants vary only the policy options, not the workload, so one
 	// session's analysis cache serves every variant that shares Pattern.
+	// SIGINT and SIGTERM both cancel gracefully (partial rows are printed).
 	runner := repro.NewRunner(repro.RunnerConfig{})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	fmt.Printf("%-14s %12s %12s %14s\n", "variant", "dp/st", "selective/st", "max-gain-vs-dp")

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro"
@@ -55,10 +56,10 @@ func main() {
 
 	// One session for all figures: the same seed regenerates identical
 	// task sets per figure, so the second and third sweeps hit the
-	// offline-analysis cache instead of re-deriving everything. SIGINT
-	// cancels gracefully, printing the partial table.
+	// offline-analysis cache instead of re-deriving everything. SIGINT or
+	// SIGTERM cancels gracefully, printing the partial table.
 	runner := repro.NewRunner(repro.RunnerConfig{CacheEntries: cacheCap(*noCache)})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	scenarios := map[string]fault.Scenario{

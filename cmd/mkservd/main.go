@@ -1,0 +1,95 @@
+// Command mkservd serves the simulator over HTTP/JSON: a repro.Runner
+// session behind admission control, request coalescing and graceful
+// drain (see internal/serve).
+//
+// Usage:
+//
+//	mkservd                                  # listen on 127.0.0.1:8080
+//	mkservd -addr 127.0.0.1:0 -addrfile a    # ephemeral port, written to a
+//	mkservd -rate 2000 -inflight 8 -queue 128 -drain 10s
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one run (coalesced across identical requests)
+//	POST /v1/sweep      utilization sweep, streamed as chunked JSONL
+//	GET  /v1/analyze    offline analysis products for a task set
+//	GET  /healthz       liveness and drain state
+//	GET  /metrics       counters and gauges, text format
+//
+// SIGINT/SIGTERM start the graceful drain: the listener stops accepting,
+// in-flight requests get -drain to finish, and whatever remains is
+// canceled (the drain summary reports how many had to be aborted).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+		addrFile = flag.String("addrfile", "", "write the bound address to this file (for scripts using -addr :0)")
+		inflight = flag.Int("inflight", 0, "max concurrently executing jobs (0 = default 4)")
+		queue    = flag.Int("queue", 0, "bounded job queue depth (0 = default 64, -1 = no queue)")
+		rate     = flag.Float64("rate", 0, "token-bucket request rate limit per second (0 = unlimited)")
+		burst    = flag.Int("burst", 0, "token bucket capacity (0 = rate)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-request simulation deadline")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful drain window on SIGINT/SIGTERM")
+		cache    = flag.Int("cache", 0, "analysis cache entries (0 = default, <0 = disabled)")
+		quiet    = flag.Bool("q", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, serveConfig(*inflight, *queue, *rate, *burst, *timeout, *drain, *cache, *quiet)); err != nil {
+		fmt.Fprintf(os.Stderr, "mkservd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func serveConfig(inflight, queue int, rate float64, burst int, timeout, drain time.Duration, cache int, quiet bool) serve.Config {
+	var log io.Writer = os.Stderr
+	if quiet {
+		log = nil
+	}
+	return serve.Config{
+		Runner:         repro.NewRunner(repro.RunnerConfig{CacheEntries: cache}),
+		MaxInFlight:    inflight,
+		QueueDepth:     queue,
+		RatePerSec:     rate,
+		Burst:          burst,
+		DefaultTimeout: timeout,
+		DrainWindow:    drain,
+		Log:            log,
+	}
+}
+
+func run(addr, addrFile string, cfg serve.Config) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := l.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "mkservd: listening on %s\n", bound)
+	}
+	// SIGINT and SIGTERM both begin the graceful drain; serve.Run owns
+	// the drain window and in-flight cancellation from here.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve.NewServer(cfg).Run(ctx, l)
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro"
 )
@@ -43,7 +44,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.setPath, "set", "", "path to a JSON task-set spec")
+	flag.StringVar(&o.setPath, "set", "", "path to a JSON task-set spec (- = stdin)")
 	flag.BoolVar(&o.demo, "demo", false, "use the paper's §III example set instead of -set")
 	flag.StringVar(&o.approach, "approach", "selective", "st | dp | greedy | selective | dp-background")
 	flag.Float64Var(&o.horizonMS, "horizon", 0, "simulated ms (0 = one (m,k)-hyperperiod, capped at 2000)")
@@ -55,9 +56,9 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "print a machine-readable run report (schema mkss-run/v1) instead of text")
 	flag.StringVar(&o.events, "events", "", "write the structured event trace as JSONL to this file")
 	flag.Parse()
-	// SIGINT cancels the simulation gracefully: the engine stops at the
-	// next event-loop check and run reports the interruption.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM cancel the simulation gracefully: the engine
+	// stops at the next event-loop check and run reports the interruption.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, o); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -75,13 +76,8 @@ func run(ctx context.Context, o options) error {
 	case o.demo:
 		s = repro.NewSet(repro.NewTask(5, 4, 3, 2, 4), repro.NewTask(10, 10, 3, 1, 2))
 	case o.setPath != "":
-		f, err := os.Open(o.setPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close() //mklint:allow errdrop — read-only handle; a close failure cannot lose data
-		s, err = repro.LoadSet(f)
-		if err != nil {
+		var err error
+		if s, err = repro.LoadSetFile(o.setPath); err != nil {
 			return err
 		}
 	default:

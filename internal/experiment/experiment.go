@@ -54,6 +54,13 @@ type Config struct {
 	// HorizonCap. Defaults: 500 ms and 2 s.
 	MinHorizon timeu.Time
 	HorizonCap timeu.Time
+	// IntervalOffset shifts the per-interval seed derivation: interval i
+	// of this sweep draws the generation and fault sub-streams interval
+	// IntervalOffset+i of a whole sweep with the same Seed would draw. It
+	// lets a caller split one logical sweep into per-interval runs (the
+	// streaming /v1/sweep endpoint) whose rows match the batch run bit
+	// for bit. Zero — the default — leaves the derivation unchanged.
+	IntervalOffset int
 	// Workers bounds simulation parallelism (0 = runtime.NumCPU()).
 	Workers int
 	// Progress, when non-nil, receives one line per finished interval.
@@ -191,7 +198,7 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 				return
 			}
 			sem <- struct{}{}
-			gen := workload.NewGenerator(cfg.Workload, stats.DeriveSeed(cfg.Seed, uint64(ivIdx)))
+			gen := workload.NewGenerator(cfg.Workload, stats.DeriveSeed(cfg.Seed, uint64(cfg.IntervalOffset+ivIdx)))
 			batch := gen.GenerateInterval(iv, cfg.SetsPerInterval, cfg.MaxCandidates)
 			<-sem
 			row := Row{
@@ -214,7 +221,7 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 					if ctx.Err() != nil {
 						return
 					}
-					faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+ivIdx*10_000+si))
+					faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+(cfg.IntervalOffset+ivIdx)*10_000+si))
 					sr, err := runSet(ctx, s, approaches, cfg, faultSeed)
 					if err != nil {
 						mu.Lock()

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced wall clock for the token bucket.
+type fakeClock struct{ t atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.t.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.t.Add(int64(d)) }
+
+// TestTokenBucket drives the bucket with a fake clock: the burst is
+// consumable immediately, an empty bucket rejects with a Retry-After of
+// at least one second, and tokens accrue with time at the configured
+// rate (capped at the burst).
+func TestTokenBucket(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTokenBucket(2, 2, clk.now) // 2 tokens/s, capacity 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d within burst rejected", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After %v below the one-second floor", retry)
+	}
+	clk.advance(500 * time.Millisecond) // one token at 2/s
+	if ok, _ := b.take(); !ok {
+		t.Fatal("token did not accrue after 500ms at 2/s")
+	}
+	// A long quiet period must not accumulate beyond the burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d after refill rejected", i)
+		}
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("bucket exceeded its burst capacity")
+	}
+}
+
+// TestTokenBucketDefaultBurst checks burst <= 0 defaults to max(1, rate).
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	clk := &fakeClock{}
+	if b := newTokenBucket(5, 0, clk.now); b.burst != 5 {
+		t.Fatalf("burst = %v, want 5", b.burst)
+	}
+	if b := newTokenBucket(0.5, 0, clk.now); b.burst != 1 {
+		t.Fatalf("burst = %v, want 1 (floor)", b.burst)
+	}
+}
+
+// TestAdmissionQueueBounds exercises the bounded execution stage: one
+// slot, one queue position. The first acquire runs, the second queues,
+// the third is rejected with a 429 admitError, and releasing the slot
+// admits the queued waiter.
+func TestAdmissionQueueBounds(t *testing.T) {
+	var gauge atomic.Int64
+	a := newAdmission(1, 1, &gauge)
+	rel1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	queuedGot := make(chan func(), 1)
+	go func() {
+		rel2, err := a.acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		queuedGot <- rel2
+	}()
+	// Wait for the goroutine to occupy the queue position.
+	for gauge.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err = a.acquire(context.Background())
+	var ae *admitError
+	if !errors.As(err, &ae) {
+		t.Fatalf("overflow acquire: got %v, want *admitError", err)
+	}
+	if ae.status != 429 || ae.retryAfter <= 0 {
+		t.Fatalf("admitError = {status %d, retryAfter %v}, want 429 with a positive Retry-After", ae.status, ae.retryAfter)
+	}
+	rel1() // the queued waiter takes the slot
+	select {
+	case rel2 := <-queuedGot:
+		rel2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never acquired after release")
+	}
+	if gauge.Load() != 0 {
+		t.Fatalf("queued gauge = %d after drain, want 0", gauge.Load())
+	}
+}
+
+// TestAdmissionQueuedCancellation verifies a queued waiter honors its
+// context and leaves the gauge clean.
+func TestAdmissionQueuedCancellation(t *testing.T) {
+	var gauge atomic.Int64
+	a := newAdmission(1, 4, &gauge)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	for gauge.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued acquire after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire ignored cancellation")
+	}
+	if gauge.Load() != 0 {
+		t.Fatalf("queued gauge = %d after cancellation, want 0", gauge.Load())
+	}
+}

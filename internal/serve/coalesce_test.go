@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupSingleExecution coalesces N concurrent identical calls
+// into exactly one execution of fn, with every caller seeing the shared
+// result and all but the leader reporting shared=true.
+func TestFlightGroupSingleExecution(t *testing.T) {
+	g := newFlightGroup()
+	const n = 16
+	var calls atomic.Int64
+	arrived := make(chan struct{}, n)
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	shareds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
+				calls.Add(1)
+				arrived <- struct{}{}
+				<-proceed // hold the flight open until every caller joined
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			vals[i], shareds[i] = v, shared
+		}(i)
+	}
+	<-arrived // the leader is inside fn; followers can only join now
+	// Wait for the follower goroutines to have had a chance to enter do;
+	// they either joined the open flight (shared) or, by serialization on
+	// g.mu, cannot start a second one before the flight completes.
+	for deadline := 0; ; deadline++ {
+		g.mu.Lock()
+		w := g.calls["k"].waiters
+		g.mu.Unlock()
+		if w == n {
+			break
+		}
+		if deadline > 1000 {
+			t.Fatalf("followers never joined: %d/%d waiters", w, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(proceed)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i := range vals {
+		if string(vals[i]) != "result" {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+		if shareds[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("shared count = %d, want %d", sharedCount, n-1)
+	}
+}
+
+// TestFlightGroupLastWaiterCancelsLeader verifies that abandoning every
+// waiter cancels the leader's detached context (the shard is freed as
+// soon as nobody wants the result).
+func TestFlightGroupLastWaiterCancelsLeader(t *testing.T) {
+	g := newFlightGroup()
+	leaderDone := make(chan error, 1)
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _, err := g.do(ctx, "k", func(lctx context.Context) ([]byte, error) {
+			close(started)
+			<-lctx.Done() // simulate work that honors cancellation
+			return nil, lctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+	cancel() // the only caller gives up
+	select {
+	case err := <-leaderDone:
+		if err == nil {
+			t.Fatal("expected a context error after abandoning the flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader context was never canceled")
+	}
+}
+
+// TestFlightGroupSequentialNotShared checks that non-overlapping calls
+// each execute fn (coalescing is in-flight only, not a cache).
+func TestFlightGroupSequentialNotShared(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, shared, err := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
+			calls.Add(1)
+			return []byte("x"), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("fn executed %d times, want 3", calls.Load())
+	}
+}
+
+// TestSweepJobReplayAndFollow streams rows to a subscriber that attaches
+// mid-flight: it must replay the published prefix and then follow live,
+// seeing the identical full sequence.
+func TestSweepJobReplayAndFollow(t *testing.T) {
+	reg := newSweepRegistry()
+	gate := make(chan struct{})
+	j, started := reg.attach("k", func(ctx context.Context, publish func([]byte)) error {
+		publish([]byte("row0"))
+		publish([]byte("row1"))
+		<-gate
+		publish([]byte("row2"))
+		return nil
+	})
+	if !started {
+		t.Fatal("first attach should start the job")
+	}
+	// Wait until the first two rows are in.
+	for {
+		j.mu.Lock()
+		n := len(j.rows)
+		j.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j2, started2 := reg.attach("k", nil)
+	if started2 || j2 != j {
+		t.Fatal("second attach should coalesce onto the open job")
+	}
+	close(gate)
+	var got []string
+	err := j2.stream(context.Background(), func(row []byte) error {
+		got = append(got, string(row))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	want := []string{"row0", "row1", "row2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+// TestSweepJobLastSubscriberCancelsLeader verifies that the leader's
+// context dies when its only subscriber disconnects mid-stream.
+func TestSweepJobLastSubscriberCancelsLeader(t *testing.T) {
+	reg := newSweepRegistry()
+	canceled := make(chan struct{})
+	j, _ := reg.attach("k", func(ctx context.Context, publish func([]byte)) error {
+		publish([]byte("row0"))
+		<-ctx.Done()
+		close(canceled)
+		return ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel the subscriber after it consumed the first row.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := j.stream(ctx, func([]byte) error { return nil }); err == nil {
+		t.Fatal("stream should return the subscriber's context error")
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader was never canceled after the last subscriber left")
+	}
+}

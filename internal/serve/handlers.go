@@ -1,0 +1,580 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/timeu"
+	"repro/internal/workload"
+)
+
+// Schema version tags of the documents served by the endpoints. Bump on
+// any backwards-incompatible change; additive changes keep the version.
+const (
+	RunSchema     = "mkss-run/v1"
+	SweepSchema   = "mkss-sweep/v1"
+	AnalyzeSchema = "mkss-analyze/v1"
+)
+
+// SimulateRequest is the POST /v1/simulate body. Set shares the CLI
+// decode path (repro.SetSpec), so malformed fields come back as the same
+// "tasks[2].wcet_ms: ..." errors mksim prints.
+type SimulateRequest struct {
+	Set           repro.SetSpec `json:"set"`
+	Approach      string        `json:"approach"`
+	Scenario      string        `json:"scenario,omitempty"`
+	Seed          uint64        `json:"seed,omitempty"`
+	HorizonMS     float64       `json:"horizon_ms,omitempty"`
+	TransientRate float64       `json:"transient_rate,omitempty"`
+	// TimeoutMS caps this request's simulation work; zero uses the server
+	// default. The deadline propagates as a context into the engine.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// RunDoc is the /v1/simulate response (schema mkss-run/v1): the same
+// shape mksim -json prints, plus the canonical set fingerprint the
+// server coalesces on.
+type RunDoc struct {
+	Schema        string         `json:"schema"`
+	Fingerprint   string         `json:"fingerprint"`
+	Policy        string         `json:"policy"`
+	Scenario      string         `json:"scenario"`
+	Seed          uint64         `json:"seed"`
+	HorizonUS     int64          `json:"horizon_us"`
+	Schedulable   bool           `json:"r_pattern_schedulable"`
+	ActiveEnergy  float64        `json:"active_energy"`
+	TotalEnergy   float64        `json:"total_energy"`
+	MKSatisfied   bool           `json:"mk_satisfied"`
+	ViolationAt   []int          `json:"violation_at"`
+	Counters      repro.Counters `json:"counters"`
+	PermanentAtUS int64          `json:"permanent_fault_at_us,omitempty"`
+	PermanentProc int            `json:"permanent_fault_proc,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body. The response is a chunked
+// JSONL stream: one "start" line, one "row" line per utilization
+// interval as it completes, and a terminal "done" (or "error") line.
+type SweepRequest struct {
+	Scenario        string   `json:"scenario,omitempty"`
+	Seed            uint64   `json:"seed,omitempty"`
+	SetsPerInterval int      `json:"sets_per_interval,omitempty"`
+	MaxCandidates   int      `json:"max_candidates,omitempty"`
+	Lo              float64  `json:"lo,omitempty"`
+	Hi              float64  `json:"hi,omitempty"`
+	Approaches      []string `json:"approaches,omitempty"`
+	TimeoutMS       float64  `json:"timeout_ms,omitempty"`
+}
+
+// SweepLine is one line of the /v1/sweep JSONL stream. Type is "start",
+// "row", "done" or "error"; the other fields are populated per type.
+type SweepLine struct {
+	Type   string `json:"type"`
+	Schema string `json:"schema,omitempty"` // start: SweepSchema
+	// start fields
+	Scenario  string `json:"scenario,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Intervals int    `json:"intervals,omitempty"`
+	// row fields
+	UtilLo     float64            `json:"util_lo,omitempty"`
+	UtilHi     float64            `json:"util_hi,omitempty"`
+	Sets       int                `json:"sets,omitempty"`
+	Candidates int                `json:"candidates,omitempty"`
+	NormMean   map[string]float64 `json:"norm_mean,omitempty"`
+	NormCI95   map[string]float64 `json:"norm_ci95,omitempty"`
+	Violations map[string]int     `json:"violations,omitempty"`
+	// done/error fields
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// AnalyzeTask is one task's offline products in an AnalyzeDoc.
+type AnalyzeTask struct {
+	Name         string  `json:"name,omitempty"`
+	PeriodUS     int64   `json:"period_us"`
+	DeadlineUS   int64   `json:"deadline_us"`
+	WCETUS       int64   `json:"wcet_us"`
+	M            int     `json:"m"`
+	K            int     `json:"k"`
+	ResponseUS   int64   `json:"response_us"`
+	RTAConverged bool    `json:"rta_converged"`
+	PromotionUS  int64   `json:"promotion_us"`
+	ThetaUS      *int64  `json:"theta_us,omitempty"`
+	MKUtil       float64 `json:"mk_util"`
+}
+
+// AnalyzeDoc is the /v1/analyze response (schema mkss-analyze/v1): the
+// memoized offline products for a task set, served from the session's
+// analysis LRU — R-pattern schedulability, RTA response times and
+// promotion intervals Yi (Eq. 2), and the θ postponement intervals of
+// Defs. 2–5 when the analysis succeeds.
+type AnalyzeDoc struct {
+	Schema      string           `json:"schema"`
+	Fingerprint string           `json:"fingerprint"`
+	Utilization float64          `json:"utilization"`
+	MKUtil      float64          `json:"mk_utilization"`
+	Schedulable bool             `json:"r_pattern_schedulable"`
+	Tasks       []AnalyzeTask    `json:"tasks"`
+	ThetaError  string           `json:"theta_error,omitempty"`
+	Cache       repro.CacheStats `json:"cache"`
+}
+
+// errorDoc is the uniform JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// decodeBody strictly decodes the request body into v, bounding its
+// size. Unknown fields are rejected so schema typos fail loudly.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// reject writes a JSON error with the given status; retryAfter > 0 adds
+// the Retry-After backpressure header (429/503 responses).
+func (s *Server) reject(w http.ResponseWriter, status int, retryAfter int, msg string) {
+	s.failures.Add(1)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorDoc{Error: msg}); err != nil {
+		fmt.Fprintf(s.cfg.Log, "mkservd: write error response: %v\n", err)
+	}
+}
+
+// fail maps a handler error onto the HTTP status vocabulary: admission
+// rejections keep their status and Retry-After, deadline expiry is 504,
+// cancellation during drain is 503, and everything else is a 422
+// configuration/simulation error.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var ae *admitError
+	switch {
+	case errors.As(err, &ae):
+		s.rejected.Add(1)
+		s.reject(w, ae.status, int((ae.retryAfter+999999999)/1000000000), ae.msg)
+	case errors.Is(err, errHTTPDeadline):
+		s.reject(w, http.StatusGatewayTimeout, 0, err.Error())
+	case errors.Is(err, errHTTPCanceled):
+		s.reject(w, http.StatusServiceUnavailable, 0, err.Error())
+	default:
+		s.reject(w, http.StatusUnprocessableEntity, 0, err.Error())
+	}
+}
+
+// Sentinel wrappers so fail can classify context errors after they have
+// been wrapped by the engine ("sim: interrupted: context canceled").
+var (
+	errHTTPDeadline = errors.New("deadline exceeded")
+	errHTTPCanceled = errors.New("canceled")
+)
+
+// classifyCtx rewraps an error that carries a context cause into the
+// matching sentinel, preserving the original message.
+func classifyCtx(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", errHTTPDeadline, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %v", errHTTPCanceled, err)
+	}
+	return err
+}
+
+// writeJSON writes v as the complete JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		fmt.Fprintf(s.cfg.Log, "mkservd: write response: %v\n", err)
+	}
+}
+
+// admitRate applies the token bucket (when configured) to one request.
+func (s *Server) admitRate(w http.ResponseWriter) bool {
+	if s.bucket == nil {
+		return true
+	}
+	ok, retry := s.bucket.take()
+	if !ok {
+		s.rejected.Add(1)
+		s.reject(w, http.StatusTooManyRequests, int(retry.Seconds()),
+			"request rate limit exceeded")
+	}
+	return ok
+}
+
+// simulateKey canonicalizes the coalescing key of one simulate request:
+// the set fingerprint (names excluded — they cannot influence the run)
+// plus every config field that can change the result.
+func simulateKey(set *repro.Set, a repro.Approach, sc repro.Scenario, req SimulateRequest) string {
+	return strings.Join([]string{
+		analysis.Fingerprint(set),
+		a.String(),
+		sc.String(),
+		strconv.FormatUint(req.Seed, 10),
+		strconv.FormatInt(int64(timeu.FromMillis(req.HorizonMS)), 10),
+		strconv.FormatFloat(req.TransientRate, 'g', -1, 64),
+	}, "|")
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	if !s.admitRate(w) {
+		return
+	}
+	var req SimulateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, 0, "parse request: "+err.Error())
+		return
+	}
+	set, err := req.Set.Set()
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	a, err := repro.ParseApproach(orDefault(req.Approach, "selective"))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	sc, err := repro.ParseScenario(orDefault(req.Scenario, "none"))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	ctx, cancel := s.workCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	val, shared, err := s.flights.do(ctx, simulateKey(set, a, sc, req), func(lctx context.Context) ([]byte, error) {
+		release, err := s.adm.acquire(lctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		res, err := s.runner.Simulate(lctx, set, a, repro.RunConfig{
+			HorizonMS:     req.HorizonMS,
+			Scenario:      sc,
+			Seed:          req.Seed,
+			TransientRate: req.TransientRate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.recordRun(res)
+		doc := RunDoc{
+			Schema:       RunSchema,
+			Fingerprint:  analysis.Fingerprint(set),
+			Policy:       res.Policy,
+			Scenario:     sc.String(),
+			Seed:         req.Seed,
+			HorizonUS:    int64(res.Horizon),
+			Schedulable:  s.runner.Analysis(set).Schedulable(),
+			ActiveEnergy: res.ActiveEnergy(),
+			TotalEnergy:  res.TotalEnergy(),
+			MKSatisfied:  res.MKSatisfied(),
+			ViolationAt:  res.ViolationAt,
+			Counters:     res.Counters,
+		}
+		if pf := res.PermanentFault; pf != nil {
+			doc.PermanentAtUS = int64(pf.At)
+			doc.PermanentProc = pf.Proc
+		}
+		return json.Marshal(doc)
+	})
+	if shared {
+		s.coalesced.Add(1)
+		w.Header().Set("X-Mkss-Coalesced", "1")
+	}
+	if err != nil {
+		s.fail(w, classifyCtx(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// val is shared across coalesced followers: write the trailing newline
+	// separately instead of appending into the shared buffer.
+	if _, err := w.Write(val); err == nil {
+		_, err = io.WriteString(w, "\n")
+		if err != nil {
+			fmt.Fprintf(s.cfg.Log, "mkservd: write response: %v\n", err)
+		}
+	} else {
+		fmt.Fprintf(s.cfg.Log, "mkservd: write response: %v\n", err)
+	}
+}
+
+// sweepKey canonicalizes the coalescing key of one sweep request.
+func sweepKey(sc repro.Scenario, as []repro.Approach, req SweepRequest) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.String()
+	}
+	return strings.Join([]string{
+		sc.String(),
+		strconv.FormatUint(req.Seed, 10),
+		strconv.Itoa(req.SetsPerInterval),
+		strconv.Itoa(req.MaxCandidates),
+		strconv.FormatFloat(req.Lo, 'g', -1, 64),
+		strconv.FormatFloat(req.Hi, 'g', -1, 64),
+		strings.Join(names, ","),
+	}, "|")
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, 0, "POST required")
+		return
+	}
+	if !s.admitRate(w) {
+		return
+	}
+	var req SweepRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, 0, "parse request: "+err.Error())
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 2020
+	}
+	if req.SetsPerInterval <= 0 {
+		req.SetsPerInterval = 3
+	}
+	if req.MaxCandidates <= 0 {
+		req.MaxCandidates = 500
+	}
+	if req.Lo <= 0 {
+		req.Lo = 0.1
+	}
+	if req.Hi <= 0 {
+		req.Hi = 1.0
+	}
+	if req.Hi <= req.Lo {
+		s.reject(w, http.StatusBadRequest, 0, "hi must exceed lo")
+		return
+	}
+	sc, err := repro.ParseScenario(orDefault(req.Scenario, "none"))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	names := req.Approaches
+	if len(names) == 0 {
+		names = []string{"st", "dp", "selective"}
+	}
+	as := make([]repro.Approach, len(names))
+	for i, n := range names {
+		if as[i], err = repro.ParseApproach(n); err != nil {
+			s.reject(w, http.StatusBadRequest, 0, err.Error())
+			return
+		}
+	}
+	ctx, cancel := s.workCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	intervals := workload.Intervals(req.Lo, req.Hi, 0.1)
+	job, started := s.sweeps.attach(sweepKey(sc, as, req), func(lctx context.Context, publish func([]byte)) error {
+		release, err := s.adm.acquire(lctx)
+		if err != nil {
+			return err
+		}
+		defer release()
+		start := s.now()
+		publish(mustLine(SweepLine{
+			Type: "start", Schema: SweepSchema, Scenario: sc.String(),
+			Seed: req.Seed, Intervals: len(intervals),
+		}))
+		for i, iv := range intervals {
+			cfg := repro.DefaultSweepConfig(sc)
+			cfg.Seed = req.Seed
+			cfg.SetsPerInterval = req.SetsPerInterval
+			cfg.MaxCandidates = req.MaxCandidates
+			cfg.Approaches = as
+			cfg.Intervals = []workload.Interval{iv}
+			// IntervalOffset keeps the streamed rows bit-identical to a
+			// batch sweep over [lo, hi) with the same seed.
+			cfg.IntervalOffset = i
+			cfg.Workers = s.cfg.MaxInFlight
+			rep, err := s.runner.Sweep(lctx, cfg)
+			if err != nil {
+				return err
+			}
+			row := rep.Rows[0]
+			line := SweepLine{
+				Type:       "row",
+				UtilLo:     row.Interval.Lo,
+				UtilHi:     row.Interval.Hi,
+				Sets:       len(row.Sets),
+				Candidates: row.Candidates,
+				NormMean:   map[string]float64{},
+				NormCI95:   map[string]float64{},
+				Violations: map[string]int{},
+			}
+			s.aggMu.Lock()
+			for _, a := range rep.Approaches {
+				line.NormMean[a.String()] = row.NormMean[a]
+				line.NormCI95[a.String()] = row.NormCI[a]
+				line.Violations[a.String()] = row.Violations[a]
+				s.agg = s.agg.Add(row.Counters[a])
+			}
+			s.aggRuns += uint64(len(row.Sets) * len(rep.Approaches))
+			s.aggMu.Unlock()
+			publish(mustLine(line))
+		}
+		publish(mustLine(SweepLine{
+			Type:      "done",
+			Intervals: len(intervals),
+			ElapsedMS: float64(s.now().Sub(start)) / 1e6,
+		}))
+		return nil
+	})
+	if !started {
+		s.coalesced.Add(1)
+		w.Header().Set("X-Mkss-Coalesced", "1")
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	emit := func(row []byte) error {
+		// row is shared across coalesced subscribers: never append into it.
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		wrote = true
+		return nil
+	}
+	if err := job.stream(ctx, emit); err != nil {
+		err = classifyCtx(err)
+		if !wrote {
+			s.fail(w, err)
+			return
+		}
+		// The stream is already under way: append a terminal error line
+		// instead of a status code the client can no longer see.
+		s.failures.Add(1)
+		if werr := emit(mustLine(SweepLine{Type: "error", Error: err.Error()})); werr != nil {
+			fmt.Fprintf(s.cfg.Log, "mkservd: sweep error line: %v\n", werr)
+		}
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, 0, "GET or POST required")
+		return
+	}
+	if !s.admitRate(w) {
+		return
+	}
+	var spec repro.SetSpec
+	if q := r.URL.Query().Get("set"); q != "" {
+		dec := json.NewDecoder(strings.NewReader(q))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			s.reject(w, http.StatusBadRequest, 0, "parse set query parameter: "+err.Error())
+			return
+		}
+	} else if err := s.decodeBody(w, r, &spec); err != nil {
+		s.reject(w, http.StatusBadRequest, 0,
+			"need a task-set spec as the request body or the set query parameter: "+err.Error())
+		return
+	}
+	set, err := spec.Set()
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	// Every product below is memoized in the session LRU (shared with
+	// /v1/simulate): repeated queries and identical sets are O(lookup).
+	prods := s.runner.Analysis(set)
+	resp, conv := prods.ResponseTimes()
+	promo := prods.PromotionTimes()
+	doc := AnalyzeDoc{
+		Schema:      AnalyzeSchema,
+		Fingerprint: analysis.Fingerprint(set),
+		Utilization: set.Utilization(),
+		MKUtil:      set.MKUtilization(),
+		Schedulable: prods.Schedulable(),
+		Cache:       s.runner.CacheStats(),
+	}
+	post, perr := prods.Postponement()
+	if perr != nil {
+		doc.ThetaError = perr.Error()
+	}
+	for i := range set.Tasks {
+		t := &set.Tasks[i]
+		at := AnalyzeTask{
+			Name:         t.Name,
+			PeriodUS:     int64(t.Period),
+			DeadlineUS:   int64(t.Deadline),
+			WCETUS:       int64(t.WCET),
+			M:            t.M,
+			K:            t.K,
+			ResponseUS:   int64(resp[i]),
+			RTAConverged: conv[i],
+			PromotionUS:  int64(promo[i]),
+			MKUtil:       t.MKUtilization(),
+		}
+		if perr == nil {
+			th := int64(post.Theta[i])
+			at.ThetaUS = &th
+		}
+		doc.Tasks = append(doc.Tasks, at)
+	}
+	s.writeJSON(w, http.StatusOK, doc)
+}
+
+// healthDoc is the /healthz body.
+type healthDoc struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := healthDoc{Status: "ok", InFlight: s.inflight.Load() - 1, Queued: s.queued.Load()}
+	status := http.StatusOK
+	if s.draining.Load() {
+		doc.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, doc)
+}
+
+// orDefault substitutes def for an empty string.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// mustLine marshals a stream line; the line types contain nothing that
+// can fail to marshal.
+func mustLine(v SweepLine) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

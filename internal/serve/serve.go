@@ -1,0 +1,260 @@
+// Package serve exposes a repro.Runner session over HTTP/JSON — the
+// mkservd daemon's engine room. It layers the serving concerns the
+// simulator itself does not have on top of the PR-2 session API:
+//
+//   - admission control: a token bucket bounds the accepted request
+//     rate, and a bounded job queue with backpressure (429 + Retry-After
+//     when full) keeps simulation work from oversubscribing the host;
+//   - request coalescing: concurrent identical requests — keyed by the
+//     canonical set fingerprint plus the run configuration — share one
+//     computation (singleflight for /v1/simulate, a row broadcaster for
+//     streaming /v1/sweep), so a thundering herd of equal queries costs
+//     one simulation;
+//   - per-request deadlines: every request's context, bounded by its
+//     timeout_ms (or the server default), propagates into
+//     SimulateContext/SweepContext, so a disconnecting client frees its
+//     shard at event-loop granularity;
+//   - graceful drain: on shutdown the server stops accepting, finishes
+//     in-flight work within the drain window, and aborts whatever is
+//     left when the window expires — counting the aborts it had to do.
+//
+// The package is stdlib-only (net/http); all wall-clock reads go
+// through an injectable clock so tests stay deterministic.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// Config tunes a Server. The zero value of every field picks a sensible
+// default (see NewServer).
+type Config struct {
+	// Runner is the simulation session behind every endpoint; nil builds
+	// a fresh default session. Sharing one Runner across the server means
+	// /v1/analyze queries and /v1/simulate runs warm the same LRU.
+	Runner *repro.Runner
+	// MaxInFlight bounds concurrently executing simulation jobs
+	// (default: 2×GOMAXPROCS via runtime.NumCPU is deliberately NOT used —
+	// the sweep endpoint parallelizes internally, so a small number of
+	// jobs saturates the host; default 4).
+	MaxInFlight int
+	// QueueDepth bounds jobs waiting for an execution slot; an admitted
+	// request beyond MaxInFlight waits here, and a request arriving with
+	// the queue full is rejected with 429 + Retry-After (default 64).
+	QueueDepth int
+	// RatePerSec, when positive, token-bucket-limits the accepted request
+	// rate across all endpoints; zero disables rate limiting.
+	RatePerSec float64
+	// Burst is the token bucket capacity (default: max(1, RatePerSec)).
+	Burst int
+	// DefaultTimeout caps a request's simulation work when the request
+	// carries no timeout_ms of its own (default 30s).
+	DefaultTimeout time.Duration
+	// DrainWindow bounds the graceful shutdown: in-flight requests get
+	// this long to finish before their contexts are canceled (default 5s).
+	DrainWindow time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Log receives lifecycle and error lines; nil discards them.
+	Log io.Writer
+	// Now is the wall clock (tests inject a fake one); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP serving layer over one Runner session. Create with
+// NewServer; serve via Handler (any http.Server) or Run (managed
+// lifecycle with graceful drain).
+type Server struct {
+	cfg    Config
+	runner *repro.Runner
+	now    func() time.Time
+
+	bucket  *tokenBucket
+	adm     *admission
+	flights *flightGroup
+	sweeps  *sweepRegistry
+
+	// hardStop is closed when the drain window expires; every in-flight
+	// request's work context is canceled through it.
+	hardStop  chan struct{}
+	stopOnce  sync.Once
+	draining  atomic.Bool
+	inflight  atomic.Int64
+	queued    atomic.Int64
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	coalesced atomic.Uint64
+	failures  atomic.Uint64
+	aborted   atomic.Uint64
+
+	// agg accumulates the run counters of every simulation the server
+	// actually executed (coalesced followers share their leader's run and
+	// are not double counted).
+	aggMu   sync.Mutex
+	agg     metrics.Counters
+	aggRuns uint64
+}
+
+// NewServer builds a Server, applying the documented defaults.
+func NewServer(cfg Config) *Server {
+	if cfg.Runner == nil {
+		cfg.Runner = repro.NewRunner(repro.RunnerConfig{})
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	} else if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.DrainWindow <= 0 {
+		cfg.DrainWindow = 5 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now // the one sanctioned wall-clock source of the package
+	}
+	s := &Server{
+		cfg:      cfg,
+		runner:   cfg.Runner,
+		now:      cfg.Now,
+		flights:  newFlightGroup(),
+		sweeps:   newSweepRegistry(),
+		hardStop: make(chan struct{}),
+	}
+	if cfg.RatePerSec > 0 {
+		s.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst, cfg.Now)
+	}
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, &s.queued)
+	return s
+}
+
+// Handler returns the server's route table. Every route is also the
+// documentation of the public surface:
+//
+//	POST /v1/simulate   one run, coalesced and cached
+//	POST /v1/sweep      streaming utilization sweep (chunked JSONL)
+//	GET  /v1/analyze    offline products for a task set
+//	GET  /healthz       liveness + drain state
+//	GET  /metrics       counters and gauges, text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/simulate", s.observe(s.handleSimulate))
+	mux.Handle("/v1/sweep", s.observe(s.handleSweep))
+	mux.Handle("/v1/analyze", s.observe(s.handleAnalyze))
+	mux.Handle("/healthz", s.observe(s.handleHealthz))
+	mux.Handle("/metrics", s.observe(s.handleMetrics))
+	return mux
+}
+
+// observe wraps a handler with the request gauges and the drain gate:
+// once draining, every endpoint but /healthz and /metrics answers 503 so
+// lingering keep-alive connections stop submitting work.
+func (s *Server) observe(h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+			w.Header().Set("Connection", "close")
+			s.reject(w, http.StatusServiceUnavailable, 0, "server is draining")
+			return
+		}
+		h(w, r)
+	})
+}
+
+// Run serves HTTP on l until ctx is canceled, then drains gracefully:
+// stop accepting, let in-flight requests finish within the drain window,
+// cancel whatever remains, and report the abort count. It returns nil
+// after a clean drain (even if some requests had to be aborted — the
+// aborts are visible in the log line and the aborted counter).
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	fmt.Fprintf(s.cfg.Log, "mkservd: draining (window %v, %d in flight)\n",
+		s.cfg.DrainWindow, s.inflight.Load())
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainWindow)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		// The window expired with handlers still running: abort their
+		// work contexts and give them a moment to unwind before closing
+		// the remaining connections outright.
+		s.abortInflight()
+		fctx, fcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer fcancel()
+		if err := hs.Shutdown(fctx); err != nil {
+			if cerr := hs.Close(); cerr != nil {
+				fmt.Fprintf(s.cfg.Log, "mkservd: close: %v\n", cerr)
+			}
+		}
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(s.cfg.Log, "mkservd: drained (%d requests served, %d in-flight aborted)\n",
+		s.requests.Load(), s.aborted.Load())
+	return nil
+}
+
+// abortInflight cancels every in-flight request's work context, once.
+func (s *Server) abortInflight() {
+	s.stopOnce.Do(func() { close(s.hardStop) })
+}
+
+// workCtx derives the context one request's simulation work runs under:
+// the client's context, bounded by the request deadline, and canceled
+// early when the drain window expires.
+func (s *Server) workCtx(r *http.Request, timeoutMS float64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS * float64(time.Millisecond))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-s.hardStop:
+			s.aborted.Add(1)
+			cancel()
+		case <-done:
+		}
+	}()
+	return ctx, func() { close(done); cancel() }
+}
+
+// recordRun folds one executed simulation's counters into the server
+// aggregate surfaced by /metrics.
+func (s *Server) recordRun(res *repro.Result) {
+	s.aggMu.Lock()
+	s.agg = s.agg.Add(res.Counters)
+	s.aggRuns++
+	s.aggMu.Unlock()
+}

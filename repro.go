@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -317,17 +318,11 @@ func (sp TaskSpec) validate(i int) error {
 	return nil
 }
 
-// LoadSet parses a JSON task-set spec, rejecting malformed fields with
-// JSON-path error messages. Relational constraints spanning fields
-// (deadline ≤ period, wcet ≤ deadline, priority ordering) are still
-// enforced by Set.Validate as a backstop.
-func LoadSet(r io.Reader) (*Set, error) {
-	var spec SetSpec
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return nil, fmt.Errorf("repro: parse set: %w", err)
-	}
+// Set materializes the spec into a validated task set. This is the one
+// decode path shared by LoadSet, the CLIs and the mkservd request
+// handlers, so every consumer gets the same field-path error messages
+// ("tasks[2].wcet_ms: ...") for the same malformed input.
+func (spec SetSpec) Set() (*Set, error) {
 	if len(spec.Tasks) == 0 {
 		return nil, fmt.Errorf("repro: set has no tasks")
 	}
@@ -348,6 +343,36 @@ func LoadSet(r io.Reader) (*Set, error) {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
 	return s, nil
+}
+
+// LoadSet parses a JSON task-set spec, rejecting malformed fields with
+// JSON-path error messages. Relational constraints spanning fields
+// (deadline ≤ period, wcet ≤ deadline, priority ordering) are still
+// enforced by Set.Validate as a backstop.
+func LoadSet(r io.Reader) (*Set, error) {
+	var spec SetSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("repro: parse set: %w", err)
+	}
+	return spec.Set()
+}
+
+// LoadSetFile loads a task-set spec from a file path, with "-" meaning
+// standard input — the shared entry point behind every command's -set
+// flag, so file, pipe and heredoc usage all funnel through LoadSet's
+// validated decode path.
+func LoadSetFile(path string) (*Set, error) {
+	if path == "-" {
+		return LoadSet(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //mklint:allow errdrop — read-only handle; a close failure cannot lose data
+	return LoadSet(f)
 }
 
 // Approaches lists every implemented approach.

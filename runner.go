@@ -85,6 +85,22 @@ func (r *Runner) CacheStats() CacheStats {
 	return r.cache.Stats()
 }
 
+// OfflineAnalysis is the lazily-computed, memoized bundle of offline
+// products for one task set: RTA response times and convergence flags,
+// promotion intervals Yi, the θ postponement analysis (Defs. 2–5), the
+// static pattern table and the Theorem-1 schedulability verdict. The
+// accessors compute each product at most once and are safe for
+// concurrent use.
+type OfflineAnalysis = analysis.Products
+
+// Analysis returns the session's memoized offline products for s under
+// the paper's analysis options (R-pattern, default hyperperiod cap),
+// served from the same LRU the session's simulations share: querying an
+// analysis warms the cache for later Simulate calls and vice versa.
+func (r *Runner) Analysis(s *Set) *OfflineAnalysis {
+	return r.cache.Get(s, analysis.Options{})
+}
+
 // defaultRunner backs the package-level convenience functions, so plain
 // Simulate/Sweep callers share one process-wide session.
 var defaultRunner = NewRunner(RunnerConfig{})

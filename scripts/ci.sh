@@ -8,10 +8,12 @@
 # Steps: gofmt -s, go vet, go build, mklint (the project's own static
 # analysis, see cmd/mklint), go test, go test -race, golden-figure diff
 # (Figures 1-5 vs results/golden/), bench smoke (one iteration of every
-# benchmark + a reduced mkbench sweep emitting BENCH_ci.json), and the
+# benchmark + a reduced mkbench sweep emitting BENCH_ci.json), the
 # allocation gate (BenchmarkSimulate* allocs/op vs the committed
-# results/bench_baseline.txt, >15% regression fails). mklint runs even in
-# -fast mode: the lint pass is cheap.
+# results/bench_baseline.txt, >15% regression fails), and the serve smoke
+# (mkservd on an ephemeral port driven by an mkload burst, with a
+# graceful-drain shutdown check). mklint runs even in -fast mode: the
+# lint pass is cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +69,26 @@ if [ "$fast" = 0 ]; then
   step "bench gate (allocs/op vs results/bench_baseline.txt)"
   go test -run '^$' -bench 'BenchmarkSimulate' -benchmem -count 6 . > "$tmp/bench_new.txt"
   scripts/benchgate.sh results/bench_baseline.txt "$tmp/bench_new.txt"
+
+  step "serve smoke (mkservd + mkload)"
+  go build -o "$tmp/mkservd" ./cmd/mkservd
+  go build -o "$tmp/mkload" ./cmd/mkload
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/mkservd.addr" -drain 10s \
+    > "$tmp/mkservd.log" 2>&1 &
+  servd=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/mkservd.addr" ] && break; sleep 0.1; done
+  addr=$(cat "$tmp/mkservd.addr")
+  curl -sf "http://$addr/healthz" | grep -q '"ok"'
+  curl -sf -X POST "http://$addr/v1/simulate" -H 'Content-Type: application/json' \
+    -d '{"set":{"tasks":[{"period_ms":5,"deadline_ms":4,"wcet_ms":3,"m":2,"k":4},{"period_ms":10,"deadline_ms":10,"wcet_ms":3,"m":1,"k":2}]},"approach":"selective","horizon_ms":20}' \
+    | grep -q '"active_energy":12'
+  "$tmp/mkload" -addr "$addr" -duration 2s -c 8 \
+    -mix simulate=0.9,analyze=0.08,sweep=0.02 -out "$tmp/BENCH_serve.json" -q
+  curl -sf "http://$addr/metrics" | grep -q '^mkservd_requests_total '
+  kill -TERM "$servd"
+  wait "$servd"   # graceful drain must exit 0
+  grep -q '0 in-flight aborted' "$tmp/mkservd.log"
+  echo "BENCH_serve.json written to $tmp (CI uploads this as an artifact)"
 fi
 
 printf '\nall checks passed\n'
