@@ -1,0 +1,279 @@
+// Command mkfleet distributes one Figure-6 utilization sweep over a
+// pool of mkservd workers and merges the rows, in interval order, into
+// a JSONL stream bit-identical to a single-process batch run — the
+// internal/fleet coordinator behind a CLI.
+//
+// Usage:
+//
+//	mkfleet -workers 127.0.0.1:8080,127.0.0.1:8081 -scenario both
+//	mkfleet -workers $A,$B -checkpoint ckpt.jsonl -out rows.jsonl
+//	mkfleet -workers $A,$B -checkpoint ckpt.jsonl -resume   # only missing intervals
+//	mkfleet -local -scenario both                           # in-process reference run
+//
+// -local runs the identical sweep in-process (no workers, no HTTP)
+// through the same emission path, producing the reference stream a
+// distributed run must match byte for byte:
+//
+//	mkfleet -local -out want.jsonl && mkfleet -workers $A,$B -out got.jsonl
+//	cmp want.jsonl got.jsonl
+//
+// A worker dying mid-unit is retried on another worker; stragglers can
+// be hedged (-hedge); completed units are journaled to -checkpoint so an
+// interrupted run resumes without recomputing. SIGINT/SIGTERM abort
+// cleanly with the checkpoint intact.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+type options struct {
+	workers    string
+	local      bool
+	scenario   string
+	seed       uint64
+	sets       int
+	candidates int
+	lo, hi     float64
+	approaches string
+
+	inflight    int
+	unitTimeout time.Duration
+	maxFailures int
+	hedge       time.Duration
+	probe       time.Duration
+	probeMax    time.Duration
+	grace       time.Duration
+
+	checkpoint string
+	resume     bool
+	out        string
+	bench      string
+	quiet      bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.workers, "workers", "", "comma-separated mkservd addresses (host:port or http://...)")
+	flag.BoolVar(&o.local, "local", false, "run the sweep in-process instead (reference stream for byte-identity checks)")
+	flag.StringVar(&o.scenario, "scenario", "none", "fault scenario: none|transient|permanent|both")
+	flag.Uint64Var(&o.seed, "seed", 2020, "master seed")
+	flag.IntVar(&o.sets, "sets", 3, "task sets per utilization interval")
+	flag.IntVar(&o.candidates, "candidates", 500, "max candidate sets per interval")
+	flag.Float64Var(&o.lo, "lo", 0.1, "sweep start utilization")
+	flag.Float64Var(&o.hi, "hi", 1.0, "sweep end utilization")
+	flag.StringVar(&o.approaches, "approaches", "st,dp,selective", "comma-separated approaches")
+	flag.IntVar(&o.inflight, "inflight", 2, "max units in flight per worker")
+	flag.DurationVar(&o.unitTimeout, "unit-timeout", 2*time.Minute, "per-unit attempt timeout")
+	flag.IntVar(&o.maxFailures, "max-failures", 6, "per-unit failure budget before the sweep aborts")
+	flag.DurationVar(&o.hedge, "hedge", 0, "duplicate a unit in flight this long onto a second worker (0 = off)")
+	flag.DurationVar(&o.probe, "probe", 250*time.Millisecond, "first re-probe delay for a down worker (doubles per failure)")
+	flag.DurationVar(&o.probeMax, "probe-max", 5*time.Second, "probe backoff cap")
+	flag.DurationVar(&o.grace, "grace", 15*time.Second, "how long all workers may be down before the sweep fails")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "journal completed units to this JSONL file")
+	flag.BoolVar(&o.resume, "resume", false, "load the checkpoint and run only the missing intervals")
+	flag.StringVar(&o.out, "out", "", "write the merged JSONL stream here (default: stdout)")
+	flag.StringVar(&o.bench, "bench", "", "write an mkss-bench/v1 fleet summary JSON here")
+	flag.BoolVar(&o.quiet, "q", false, "suppress the human-readable summary")
+	flag.Parse()
+	// SIGTERM behaves like SIGINT: abort the sweep, keep the checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintf(os.Stderr, "mkfleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, o options) error {
+	spec := fleet.SweepSpec{
+		Scenario:        o.scenario,
+		Seed:            o.seed,
+		SetsPerInterval: o.sets,
+		MaxCandidates:   o.candidates,
+		Lo:              o.lo,
+		Hi:              o.hi,
+		Approaches:      splitList(o.approaches),
+	}
+
+	var w *bufio.Writer
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //mklint:allow errdrop — the deferred close duplicates the explicit flush-and-close below
+		w = bufio.NewWriter(f)
+	} else {
+		w = bufio.NewWriter(os.Stdout)
+	}
+	// Flush per line: rows arrive at interval granularity (a handful per
+	// second at most), and a line-buffered stream lets consumers tail
+	// progress and scripts react to rows while the sweep is still running.
+	emit := func(line []byte) error {
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	var runErr error
+	if o.local {
+		runErr = runLocal(ctx, spec, emit)
+	} else {
+		runErr = runFleet(ctx, o, spec, emit)
+	}
+	if err := w.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// runFleet drives the coordinator against the -workers pool.
+func runFleet(ctx context.Context, o options, spec fleet.SweepSpec, emit func([]byte) error) error {
+	workers := splitList(o.workers)
+	if len(workers) == 0 {
+		return fmt.Errorf("no workers: pass -workers host:port[,host:port...] or -local")
+	}
+	c, err := fleet.New(fleet.Config{
+		Workers:           workers,
+		Spec:              spec,
+		PerWorkerInFlight: o.inflight,
+		UnitTimeout:       o.unitTimeout,
+		MaxUnitFailures:   o.maxFailures,
+		Hedge:             o.hedge,
+		ProbeBackoff:      o.probe,
+		ProbeMax:          o.probeMax,
+		AllDownGrace:      o.grace,
+		CheckpointPath:    o.checkpoint,
+		Resume:            o.resume,
+		Log:               os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	sum, runErr := c.Run(ctx, emit)
+	if sum != nil {
+		if o.bench != "" {
+			if err := writeBench(o.bench, c.Spec(), len(workers), sum); err != nil {
+				if runErr == nil {
+					runErr = err
+				} else {
+					fmt.Fprintf(os.Stderr, "mkfleet: write bench: %v\n", err)
+				}
+			}
+		}
+		if !o.quiet {
+			printSummary(os.Stderr, sum, runErr)
+		}
+	}
+	return runErr
+}
+
+// runLocal computes the reference stream in-process: one batch sweep
+// over the full range, emitted through the same serve.RowLine path the
+// workers use — the byte-identity baseline for a distributed run.
+func runLocal(ctx context.Context, spec fleet.SweepSpec, emit func([]byte) error) error {
+	sp, err := spec.Normalized()
+	if err != nil {
+		return err
+	}
+	sc, err := repro.ParseScenario(sp.Scenario)
+	if err != nil {
+		return err
+	}
+	as := make([]repro.Approach, len(sp.Approaches))
+	for i, n := range sp.Approaches {
+		if as[i], err = repro.ParseApproach(n); err != nil {
+			return err
+		}
+	}
+	intervals := sp.Intervals()
+	start := time.Now() //mklint:allow determinism — CLI wall clock for the done line's elapsed_ms
+	if err := emit(serve.MarshalLine(serve.SweepLine{
+		Type: "start", Schema: serve.SweepSchema,
+		Scenario: sp.Scenario, Seed: sp.Seed, Intervals: len(intervals),
+	})); err != nil {
+		return err
+	}
+	cfg := repro.DefaultSweepConfig(sc)
+	cfg.Seed = sp.Seed
+	cfg.SetsPerInterval = sp.SetsPerInterval
+	cfg.MaxCandidates = sp.MaxCandidates
+	cfg.Approaches = as
+	cfg.Intervals = intervals
+	rep, err := repro.SweepContext(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, row := range rep.Rows {
+		if err := emit(serve.MarshalLine(serve.RowLine(rep.Approaches, row))); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Now().Sub(start) //mklint:allow determinism — CLI wall clock for the done line's elapsed_ms
+	return emit(serve.MarshalLine(serve.SweepLine{
+		Type: "done", Intervals: len(intervals), ElapsedMS: float64(elapsed) / 1e6,
+	}))
+}
+
+// benchDoc is the versioned fleet-benchmark artifact.
+type benchDoc struct {
+	Schema  string          `json:"schema"` // "mkss-bench/v1"
+	Bench   string          `json:"bench"`  // "fleet"
+	Workers int             `json:"workers"`
+	Spec    fleet.SweepSpec `json:"spec"`
+	Summary *fleet.Summary  `json:"summary"`
+}
+
+func writeBench(path string, spec fleet.SweepSpec, workers int, sum *fleet.Summary) error {
+	data, err := json.MarshalIndent(benchDoc{
+		Schema: "mkss-bench/v1", Bench: "fleet",
+		Workers: workers, Spec: spec, Summary: sum,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printSummary(w io.Writer, sum *fleet.Summary, runErr error) {
+	status := "complete"
+	if runErr != nil {
+		status = "FAILED"
+	}
+	fmt.Fprintf(w, "mkfleet: sweep %s: %d units (%d from checkpoint), %d dispatched, %d retried, %d hedged, %d cancelled, %d failed in %.0f ms\n",
+		status, sum.Units, sum.FromCheckpoint, sum.Dispatched, sum.Retried, sum.Hedged, sum.Cancelled, sum.Failed, sum.ElapsedMS)
+	for _, ws := range sum.Workers {
+		fmt.Fprintf(w, "         %-24s dispatched %-3d completed %-3d failed %-3d won %-3d markdowns %-3d probes %d\n",
+			ws.Addr, ws.Dispatched, ws.Completed, ws.Failed, ws.Won, ws.Markdowns, ws.Probes)
+	}
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

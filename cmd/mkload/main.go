@@ -16,10 +16,9 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +34,7 @@ import (
 
 	"repro"
 	"repro/internal/serve"
+	"repro/internal/serve/client"
 	"repro/internal/stats"
 )
 
@@ -111,13 +111,12 @@ func parseMix(s string) (map[string]float64, error) {
 	return mix, nil
 }
 
-// requestSpec is one prepared request: method, URL and (shared) body.
+// requestSpec is one prepared request: every invocation of an endpoint
+// sends the identical payload through the shared API client, which is
+// what exercises the server's coalescing and analysis cache.
 type requestSpec struct {
-	name   string
-	method string
-	url    string
-	body   []byte
-	stream bool // JSONL response: drain rather than decode
+	name string
+	do   func(ctx context.Context, cl *client.Client) (client.Info, error)
 }
 
 // sample accumulates one endpoint's latencies and counts.
@@ -178,7 +177,9 @@ func run(ctx context.Context, o options) error {
 		}()
 	}
 
-	client := &http.Client{Timeout: 60 * time.Second}
+	// No client-level retries: a load test measures the server's raw
+	// behavior, so every rejection and error must surface as itself.
+	cl := client.New(client.Config{Addr: o.addr, HTTPClient: &http.Client{Timeout: 60 * time.Second}})
 	results := make([]workerResult, o.workers)
 	var wg sync.WaitGroup
 	start := time.Now() //mklint:allow determinism — load-test wall clock; throughput denominator
@@ -208,7 +209,7 @@ func run(ctx context.Context, o options) error {
 						break
 					}
 				}
-				doRequest(bctx, client, specs[name], res[name])
+				doRequest(bctx, cl, specs[name], res[name])
 			}
 		}(w)
 	}
@@ -216,11 +217,16 @@ func run(ctx context.Context, o options) error {
 	elapsed := time.Now().Sub(start) //mklint:allow determinism — load-test wall clock; throughput denominator
 
 	doc := buildDoc(o, mix, results, elapsed)
-	if snap, err := fetchMetrics(client, o.addr); err == nil {
+	// The burst context may already be cancelled (SIGINT); snapshot the
+	// server's metrics on a fresh short deadline so a partial run still
+	// carries them.
+	mctx, mcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if snap, err := cl.Metrics(mctx); err == nil {
 		doc.Server = snap
 	} else {
 		fmt.Fprintf(os.Stderr, "mkload: metrics snapshot: %v\n", err)
 	}
+	mcancel()
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -271,68 +277,51 @@ func buildSpecs(o options, mix map[string]float64) (map[string]requestSpec, erro
 			{PeriodMS: 10, DeadlineMS: 10, WCETMS: 3, M: 1, K: 2},
 		}}
 	}
-	base := "http://" + o.addr
 	specs := map[string]requestSpec{}
 	if mix["simulate"] > 0 {
-		body, err := json.Marshal(serve.SimulateRequest{
-			Set: spec, Approach: o.approach, HorizonMS: o.horizon,
-		})
-		if err != nil {
-			return nil, err
-		}
-		specs["simulate"] = requestSpec{name: "simulate", method: http.MethodPost, url: base + "/v1/simulate", body: body}
+		req := serve.SimulateRequest{Set: spec, Approach: o.approach, HorizonMS: o.horizon}
+		specs["simulate"] = requestSpec{name: "simulate", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
+			_, info, err := cl.Simulate(ctx, req)
+			return info, err
+		}}
 	}
 	if mix["analyze"] > 0 {
-		body, err := json.Marshal(spec)
-		if err != nil {
-			return nil, err
-		}
-		specs["analyze"] = requestSpec{name: "analyze", method: http.MethodGet, url: base + "/v1/analyze", body: body}
+		set := spec
+		specs["analyze"] = requestSpec{name: "analyze", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
+			_, info, err := cl.Analyze(ctx, set)
+			return info, err
+		}}
 	}
 	if mix["sweep"] > 0 {
-		body, err := json.Marshal(serve.SweepRequest{
-			SetsPerInterval: 1, MaxCandidates: 100, Lo: 0.3, Hi: 0.5,
-		})
-		if err != nil {
-			return nil, err
-		}
-		specs["sweep"] = requestSpec{name: "sweep", method: http.MethodPost, url: base + "/v1/sweep", body: body, stream: true}
+		req := serve.SweepRequest{SetsPerInterval: 1, MaxCandidates: 100, Lo: 0.3, Hi: 0.5}
+		specs["sweep"] = requestSpec{name: "sweep", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
+			return cl.SweepStream(ctx, req, nil) // drain the JSONL stream
+		}}
 	}
 	return specs, nil
 }
 
 // doRequest issues one request and records its latency or failure.
-func doRequest(ctx context.Context, client *http.Client, spec requestSpec, res *sample) {
-	req, err := http.NewRequestWithContext(ctx, spec.method, spec.url, bytes.NewReader(spec.body))
-	if err != nil {
-		res.errors++
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
+func doRequest(ctx context.Context, cl *client.Client, spec requestSpec, res *sample) {
 	t0 := time.Now() //mklint:allow determinism — per-request latency measurement is the command's purpose
-	resp, err := client.Do(req)
+	info, err := spec.do(ctx, cl)
+	lat := float64(time.Now().Sub(t0)) / 1e6 //mklint:allow determinism — per-request latency measurement is the command's purpose
 	if err != nil {
-		if ctx.Err() == nil {
+		var herr *client.HTTPError
+		switch {
+		case ctx.Err() != nil:
+			// The burst ended mid-request; not the server's fault.
+		case errors.As(err, &herr) && herr.Status == http.StatusTooManyRequests:
+			res.rejected++ // backpressure working, not an error
+		default:
 			res.errors++
 		}
 		return
 	}
-	_, cerr := io.Copy(io.Discard, resp.Body)
-	if err := resp.Body.Close(); err != nil && cerr == nil {
-		cerr = err
+	if info.Coalesced {
+		res.coalesced++
 	}
-	lat := float64(time.Now().Sub(t0)) / 1e6 //mklint:allow determinism — per-request latency measurement is the command's purpose
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		res.rejected++
-	case resp.StatusCode >= 400 || cerr != nil:
-		res.errors++
-	default:
-		if resp.Header.Get("X-Mkss-Coalesced") != "" {
-			res.coalesced++
-		}
-		res.latencies = append(res.latencies, lat)
-	}
+	res.latencies = append(res.latencies, lat)
 }
 
 // latencyDoc summarizes one latency distribution in milliseconds.
@@ -445,31 +434,6 @@ func buildDoc(o options, mix map[string]float64, results []workerResult, elapsed
 		doc.ReqPerSec = float64(doc.Requests) / (float64(elapsed) / float64(time.Second))
 	}
 	return doc
-}
-
-// fetchMetrics snapshots the server's numeric /metrics lines.
-func fetchMetrics(client *http.Client, addr string) (map[string]float64, error) {
-	resp, err := client.Get("http://" + addr + "/metrics")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
-	out := map[string]float64{}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		name, val, ok := strings.Cut(line, " ")
-		if !ok {
-			continue
-		}
-		if f, err := strconv.ParseFloat(val, 64); err == nil {
-			out[name] = f
-		}
-	}
-	return out, sc.Err()
 }
 
 func printSummary(w io.Writer, doc benchDoc, interrupted bool) {

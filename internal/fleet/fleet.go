@@ -1,0 +1,647 @@
+// Package fleet is the distributed sweep coordinator: it takes one
+// logical Figure-6 utilization sweep and fans it out over a pool of
+// mkservd workers through the serving API, preserving the repo's core
+// determinism property — the merged output rows are bit-identical to a
+// single-process batch sweep with the same parameters.
+//
+// The design follows the replicate/retry/checkpoint pattern of the
+// energy-aware reliability literature (Aupy/Benoit/Robert): the sweep is
+// embarrassingly parallel over utilization intervals, so each interval
+// becomes one work unit, keyed by experiment.IntervalOffset so any
+// worker computes exactly the row the batch run would. Units are
+// dispatched with bounded in-flight per worker; a unit lost to a worker
+// death is retried on another worker; straggler units are hedged
+// (duplicated, first result wins, loser cancelled); and every completed
+// unit is journaled to a JSONL checkpoint before it counts, so a
+// coordinator crash or a clean failure (all workers down) never loses
+// finished work — -resume re-runs only the missing intervals.
+//
+// Determinism argument: a unit's row depends only on (seed, interval
+// offset, interval bounds, sets, candidates, approaches, scenario) —
+// all carried in the request — and the engine is worker-count invariant,
+// so *which* worker computes a unit, in *what order*, with *how many*
+// retries, cannot change a byte of it. The coordinator merges rows in
+// interval order, which makes the whole stream reproducible.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/workload"
+)
+
+// intervalStep is the utilization bucket width shared with the serving
+// layer and the paper's evaluation (width-0.1 intervals).
+const intervalStep = 0.1
+
+// SweepSpec identifies one logical sweep — the same parameters a batch
+// /v1/sweep request carries, minus the per-request plumbing.
+type SweepSpec struct {
+	Scenario        string   `json:"scenario"`
+	Seed            uint64   `json:"seed"`
+	SetsPerInterval int      `json:"sets_per_interval"`
+	MaxCandidates   int      `json:"max_candidates"`
+	Lo              float64  `json:"lo"`
+	Hi              float64  `json:"hi"`
+	Approaches      []string `json:"approaches"`
+}
+
+// normalize applies the serving layer's defaults and canonicalizes the
+// scenario and approach names, so the checkpoint key and the worker
+// requests are stable across spellings ("st" vs "MKSS-ST").
+func (sp SweepSpec) normalize() (SweepSpec, error) {
+	if sp.Seed == 0 {
+		sp.Seed = 2020
+	}
+	if sp.SetsPerInterval <= 0 {
+		sp.SetsPerInterval = 3
+	}
+	if sp.MaxCandidates <= 0 {
+		sp.MaxCandidates = 500
+	}
+	if sp.Lo <= 0 {
+		sp.Lo = 0.1
+	}
+	if sp.Hi <= 0 {
+		sp.Hi = 1.0
+	}
+	if sp.Hi <= sp.Lo {
+		return sp, fmt.Errorf("fleet: hi (%v) must exceed lo (%v)", sp.Hi, sp.Lo)
+	}
+	sc, err := repro.ParseScenario(orDefault(sp.Scenario, "none"))
+	if err != nil {
+		return sp, fmt.Errorf("fleet: %w", err)
+	}
+	sp.Scenario = sc.String()
+	if len(sp.Approaches) == 0 {
+		sp.Approaches = []string{"st", "dp", "selective"}
+	}
+	names := make([]string, len(sp.Approaches))
+	for i, n := range sp.Approaches {
+		a, err := repro.ParseApproach(n)
+		if err != nil {
+			return sp, fmt.Errorf("fleet: %w", err)
+		}
+		names[i] = a.String()
+	}
+	sp.Approaches = names
+	return sp, nil
+}
+
+// Normalized is the exported normalize: callers that need the exact
+// sweep a coordinator would run (e.g. mkfleet -local computing the
+// reference stream) share one defaulting/canonicalization path.
+func (sp SweepSpec) Normalized() (SweepSpec, error) { return sp.normalize() }
+
+// Key canonicalizes the sweep identity for the checkpoint header: two
+// sweeps with the same key produce the same rows.
+func (sp SweepSpec) Key() string {
+	return strings.Join([]string{
+		sp.Scenario,
+		strconv.FormatUint(sp.Seed, 10),
+		strconv.Itoa(sp.SetsPerInterval),
+		strconv.Itoa(sp.MaxCandidates),
+		strconv.FormatFloat(sp.Lo, 'g', -1, 64),
+		strconv.FormatFloat(sp.Hi, 'g', -1, 64),
+		strings.Join(sp.Approaches, ","),
+	}, "|")
+}
+
+// Intervals returns the sweep's work units — the same width-0.1 buckets
+// a batch run iterates, in the same order.
+func (sp SweepSpec) Intervals() []workload.Interval {
+	return workload.Intervals(sp.Lo, sp.Hi, intervalStep)
+}
+
+// Config tunes a Coordinator. Zero values pick the documented defaults.
+type Config struct {
+	// Workers is the static worker pool (host:port or http:// URLs).
+	Workers []string
+	// Spec is the sweep to distribute.
+	Spec SweepSpec
+	// PerWorkerInFlight bounds concurrently dispatched units per worker
+	// (default 2 — mkservd parallelizes internally, so a couple of
+	// units saturate a worker without queue pile-up).
+	PerWorkerInFlight int
+	// UnitTimeout bounds one unit attempt end to end and is forwarded
+	// as the request's timeout_ms (default 2m).
+	UnitTimeout time.Duration
+	// MaxUnitFailures is a unit's failure budget across all workers
+	// before the sweep aborts (default 6). Cancelled hedge losers do
+	// not count.
+	MaxUnitFailures int
+	// Hedge duplicates a unit that has been in flight this long onto a
+	// second worker — first result wins, the loser is cancelled. Zero
+	// disables hedging.
+	Hedge time.Duration
+	// Tick is the event-loop housekeeping cadence: probe scheduling,
+	// hedge checks, all-down accounting (default 100ms).
+	Tick time.Duration
+	// ProbeBackoff/ProbeMax shape the down-worker probe schedule: the
+	// first re-probe comes after ProbeBackoff, doubling per consecutive
+	// failure up to ProbeMax (defaults 250ms and 5s).
+	ProbeBackoff time.Duration
+	ProbeMax     time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// AllDownGrace is how long the coordinator keeps probing with every
+	// worker down before failing the sweep cleanly (default 15s). The
+	// checkpoint stays intact either way.
+	AllDownGrace time.Duration
+	// CheckpointPath, when set, journals completed units to this JSONL
+	// file; with Resume, previously completed units are loaded from it
+	// and only missing intervals run.
+	CheckpointPath string
+	Resume         bool
+	// Log receives coordinator lifecycle lines; nil discards them.
+	Log io.Writer
+	// Now is the wall clock (tests inject a fake); nil means time.Now.
+	Now func() time.Time
+	// NewClient builds the per-worker API client (test seam); nil uses
+	// a default client with no client-level retries — the coordinator
+	// owns retry policy.
+	NewClient func(addr string) *client.Client
+}
+
+// Coordinator runs one distributed sweep. Create with New, run with Run.
+type Coordinator struct {
+	cfg  Config
+	spec SweepSpec
+	now  func() time.Time
+}
+
+// New validates cfg and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	spec, err := cfg.Spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PerWorkerInFlight <= 0 {
+		cfg.PerWorkerInFlight = 2
+	}
+	if cfg.UnitTimeout <= 0 {
+		cfg.UnitTimeout = 2 * time.Minute
+	}
+	if cfg.MaxUnitFailures <= 0 {
+		cfg.MaxUnitFailures = 6
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.ProbeBackoff <= 0 {
+		cfg.ProbeBackoff = 250 * time.Millisecond
+	}
+	if cfg.ProbeMax <= 0 {
+		cfg.ProbeMax = 5 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.AllDownGrace <= 0 {
+		cfg.AllDownGrace = 15 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now // the one sanctioned wall-clock source of the package
+	}
+	if cfg.NewClient == nil {
+		cfg.NewClient = func(addr string) *client.Client {
+			return client.New(client.Config{Addr: addr})
+		}
+	}
+	return &Coordinator{cfg: cfg, spec: spec, now: cfg.Now}, nil
+}
+
+// Spec returns the normalized sweep the coordinator will run.
+func (c *Coordinator) Spec() SweepSpec { return c.spec }
+
+// unit lifecycle states.
+const (
+	unitPending = iota
+	unitInflight
+	unitDone
+)
+
+// attempt is one dispatched (unit, worker) pair.
+type attempt struct {
+	unit    int
+	w       *worker
+	hedge   bool
+	started time.Time
+	cancel  context.CancelFunc
+}
+
+// unitInfo is the coordinator's per-unit bookkeeping.
+type unitInfo struct {
+	state    int
+	failures int
+	hedged   bool
+	excluded map[int]bool
+	attempts []*attempt
+}
+
+// unitResult is one finished attempt.
+type unitResult struct {
+	at  *attempt
+	row []byte
+	err error
+}
+
+// probeResult is one finished health probe.
+type probeResult struct {
+	w  *worker
+	ok bool
+}
+
+// Run executes the distributed sweep, feeding the merged JSONL stream —
+// one "start" line, the interval rows in order, a terminal "done" (or
+// "error") line, each without the trailing newline — to out. It returns
+// the run's accounting alongside any error; on error the checkpoint
+// (when configured) retains every unit completed before the failure.
+func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Summary, error) {
+	start := c.now()
+	intervals := c.spec.Intervals()
+	n := len(intervals)
+	if n == 0 {
+		return nil, fmt.Errorf("fleet: sweep [%v, %v) contains no intervals", c.spec.Lo, c.spec.Hi)
+	}
+
+	// Checkpoint: fresh journal, or resume from a previous run's.
+	var journal *Journal
+	rows := make([][]byte, n)
+	units := make([]unitInfo, n)
+	for i := range units {
+		units[i].excluded = map[int]bool{}
+	}
+	fromCkpt := 0
+	if c.cfg.CheckpointPath != "" {
+		if c.cfg.Resume {
+			j, prev, oerr := OpenJournal(c.cfg.CheckpointPath, c.spec.Key(), n)
+			if oerr != nil {
+				return nil, oerr
+			}
+			journal = j
+			for u, raw := range prev {
+				rows[u] = append([]byte(nil), raw...)
+				units[u].state = unitDone
+				fromCkpt++
+			}
+		} else {
+			j, cerr := CreateJournal(c.cfg.CheckpointPath, c.spec.Key(), n)
+			if cerr != nil {
+				return nil, cerr
+			}
+			journal = j
+		}
+		defer func() {
+			if cerr := journal.Close(); cerr != nil {
+				fmt.Fprintf(c.cfg.Log, "fleet: close checkpoint: %v\n", cerr)
+			}
+		}()
+	}
+
+	reg := newRegistry(c.cfg.Workers, c.cfg.NewClient, c.cfg.ProbeBackoff, c.cfg.ProbeMax)
+	maxAttempts := len(reg.workers)*c.cfg.PerWorkerInFlight + 1
+	results := make(chan unitResult, maxAttempts)
+	probes := make(chan probeResult, len(reg.workers))
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	doneCount := fromCkpt
+	emitted := 0
+	activeAttempts, activeProbes := 0, 0
+	var fatal error
+
+	// The merged stream opens with the same start line a single batch
+	// /v1/sweep over the full range would emit.
+	if err := out(serve.MarshalLine(serve.SweepLine{
+		Type: "start", Schema: serve.SweepSchema,
+		Scenario: c.spec.Scenario, Seed: c.spec.Seed, Intervals: n,
+	})); err != nil {
+		return nil, fmt.Errorf("fleet: write start line: %w", err)
+	}
+	// flush emits every contiguous completed row not yet written — the
+	// in-order merge point of the whole subsystem.
+	flush := func() error {
+		for emitted < n && units[emitted].state == unitDone {
+			if err := out(rows[emitted]); err != nil {
+				return fmt.Errorf("fleet: write row %d: %w", emitted, err)
+			}
+			emitted++
+		}
+		return nil
+	}
+	if err := flush(); err != nil { // resumed prefix, if any
+		return nil, err
+	}
+
+	dispatch := func(u int, w *worker, hedge bool) {
+		ui := &units[u]
+		actx, cancel := context.WithTimeout(runCtx, c.cfg.UnitTimeout)
+		at := &attempt{unit: u, w: w, hedge: hedge, started: c.now(), cancel: cancel}
+		ui.attempts = append(ui.attempts, at)
+		ui.state = unitInflight
+		w.inflight++
+		w.stats.Dispatched++
+		if hedge {
+			w.stats.Hedged++
+		} else if ui.failures > 0 {
+			w.stats.Retried++
+		}
+		activeAttempts++
+		go func() {
+			row, err := c.runUnit(actx, w.cl, u, intervals[u])
+			cancel()
+			results <- unitResult{at: at, row: row, err: err}
+		}()
+	}
+
+	// schedule assigns pending units, in interval order, to available
+	// workers. A unit excluded from every live worker has its exclusion
+	// reset (better a repeat attempt than a stall).
+	schedule := func() {
+		for u := 0; u < n; u++ {
+			ui := &units[u]
+			if ui.state != unitPending {
+				continue
+			}
+			w := reg.pick(ui.excluded, c.cfg.PerWorkerInFlight)
+			if w == nil && len(ui.excluded) > 0 {
+				if free := reg.pick(nil, c.cfg.PerWorkerInFlight); free != nil {
+					ui.excluded = map[int]bool{}
+					w = free
+				}
+			}
+			if w == nil {
+				continue
+			}
+			dispatch(u, w, false)
+		}
+	}
+
+	// removeAttempt drops at from its unit's attempt list.
+	removeAttempt := func(at *attempt) {
+		ui := &units[at.unit]
+		for i, a := range ui.attempts {
+			if a == at {
+				ui.attempts = append(ui.attempts[:i], ui.attempts[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// handleResult folds one finished attempt into the state machine;
+	// the returned error is fatal for the whole sweep.
+	handleResult := func(r unitResult) error {
+		activeAttempts--
+		at := r.at
+		at.w.inflight--
+		removeAttempt(at)
+		ui := &units[at.unit]
+		if ui.state == unitDone {
+			// The unit finished elsewhere first: this is a cancelled
+			// hedge loser (or a duplicate racing a checkpoint).
+			at.w.stats.Cancelled++
+			return nil
+		}
+		if r.err == nil {
+			at.w.stats.Completed++
+			if ui.hedged {
+				at.w.stats.Won++
+			}
+			ui.state = unitDone
+			doneCount++
+			rows[at.unit] = r.row
+			if err := journal.Append(at.unit, r.row); err != nil {
+				return err
+			}
+			for _, other := range ui.attempts {
+				other.cancel()
+			}
+			if fatal == nil {
+				return flush()
+			}
+			return nil
+		}
+		if runCtx.Err() != nil {
+			// The run is shutting down; the attempt died of our own
+			// cancellation, not of a worker fault.
+			at.w.stats.Cancelled++
+			return nil
+		}
+		at.w.stats.Failed++
+		ui.failures++
+		fmt.Fprintf(c.cfg.Log, "fleet: unit %d (%v) failed on %s: %v\n",
+			at.unit, intervals[at.unit], at.w.addr, r.err)
+		var herr *client.HTTPError
+		isHTTP := errors.As(r.err, &herr)
+		if isHTTP && !herr.Retryable() {
+			// A 4xx is deterministic: every worker would reject the
+			// same request. Retrying elsewhere cannot help.
+			return fmt.Errorf("fleet: unit %d rejected permanently by %s: %w", at.unit, at.w.addr, r.err)
+		}
+		if !isHTTP || herr.Status >= 500 {
+			// Transport death, truncated stream or server-side failure:
+			// treat the worker as sick until a probe clears it.
+			reg.markDown(at.w, c.now())
+			fmt.Fprintf(c.cfg.Log, "fleet: worker %s marked down (%d/%d up)\n",
+				at.w.addr, reg.upCount(), len(reg.workers))
+		}
+		ui.excluded[at.w.index] = true
+		if ui.failures > c.cfg.MaxUnitFailures {
+			return fmt.Errorf("fleet: unit %d exhausted its failure budget (%d attempts, last: %w)",
+				at.unit, ui.failures, r.err)
+		}
+		if len(ui.attempts) == 0 {
+			ui.state = unitPending
+		}
+		return nil
+	}
+
+	launchProbe := func(w *worker) {
+		activeProbes++
+		go func() {
+			pctx, cancel := context.WithTimeout(runCtx, c.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := w.cl.Healthz(pctx)
+			probes <- probeResult{w: w, ok: err == nil && h != nil && h.Status == "ok"}
+		}()
+	}
+
+	handleProbe := func(p probeResult) {
+		activeProbes--
+		if p.w.state != workerProbing {
+			return // state moved on (e.g. shutdown)
+		}
+		if p.ok {
+			reg.markUp(p.w)
+			fmt.Fprintf(c.cfg.Log, "fleet: worker %s back up\n", p.w.addr)
+		} else {
+			reg.markDown(p.w, c.now())
+		}
+	}
+
+	// hedgeCheck duplicates stragglers: a unit whose single attempt has
+	// been running past the hedge threshold gets a second attempt on a
+	// different worker. One hedge per unit.
+	hedgeCheck := func(now time.Time) {
+		if c.cfg.Hedge <= 0 {
+			return
+		}
+		for u := range units {
+			ui := &units[u]
+			if ui.state != unitInflight || ui.hedged || len(ui.attempts) != 1 {
+				continue
+			}
+			at := ui.attempts[0]
+			if now.Sub(at.started) < c.cfg.Hedge {
+				continue
+			}
+			w := reg.pick(map[int]bool{at.w.index: true}, c.cfg.PerWorkerInFlight)
+			if w == nil {
+				continue
+			}
+			ui.hedged = true
+			fmt.Fprintf(c.cfg.Log, "fleet: hedging straggler unit %d (%s → %s)\n", u, at.w.addr, w.addr)
+			dispatch(u, w, true)
+		}
+	}
+
+	var allDownSince time.Time
+	ticker := time.NewTicker(c.cfg.Tick)
+	defer ticker.Stop()
+
+	schedule()
+	for doneCount < n && fatal == nil {
+		select {
+		case r := <-results:
+			fatal = handleResult(r)
+		case p := <-probes:
+			handleProbe(p)
+		case <-ticker.C:
+			t := c.now()
+			for _, w := range reg.probeDue(t) {
+				launchProbe(w)
+			}
+			hedgeCheck(t)
+			if reg.allDown() {
+				if allDownSince.IsZero() {
+					allDownSince = t
+				} else if t.Sub(allDownSince) >= c.cfg.AllDownGrace {
+					fatal = fmt.Errorf("fleet: all %d workers down for %v with %d/%d units incomplete (checkpoint intact)",
+						len(reg.workers), c.cfg.AllDownGrace, n-doneCount, n)
+				}
+			} else {
+				allDownSince = time.Time{}
+			}
+		case <-ctx.Done():
+			fatal = fmt.Errorf("fleet: interrupted with %d/%d units complete: %w", doneCount, n, ctx.Err())
+		}
+		if fatal == nil {
+			schedule()
+		}
+	}
+
+	// Shut down outstanding work and drain every goroutine we started.
+	cancelRun()
+	for activeAttempts > 0 || activeProbes > 0 {
+		select {
+		case r := <-results:
+			activeAttempts--
+			r.at.w.inflight--
+			removeAttempt(r.at)
+			ui := &units[r.at.unit]
+			if r.err == nil && ui.state != unitDone {
+				// A row that completed during shutdown is durable
+				// progress: journal it so -resume skips the unit, even
+				// though the merged stream already carries the error.
+				ui.state = unitDone
+				rows[r.at.unit] = r.row
+				r.at.w.stats.Completed++
+				doneCount++
+				if err := journal.Append(r.at.unit, r.row); err != nil {
+					fmt.Fprintf(c.cfg.Log, "fleet: checkpoint during shutdown: %v\n", err)
+				}
+			} else {
+				r.at.w.stats.Cancelled++
+			}
+		case <-probes:
+			activeProbes--
+		}
+	}
+
+	elapsedMS := float64(c.now().Sub(start)) / 1e6
+	sum := summarize(reg, n, fromCkpt, elapsedMS)
+	if fatal != nil {
+		// Best-effort terminal error line, mirroring the serving
+		// layer's mid-stream error convention.
+		if werr := out(serve.MarshalLine(serve.SweepLine{Type: "error", Error: fatal.Error()})); werr != nil {
+			fmt.Fprintf(c.cfg.Log, "fleet: write error line: %v\n", werr)
+		}
+		return sum, fatal
+	}
+	if err := out(serve.MarshalLine(serve.SweepLine{
+		Type: "done", Intervals: n, ElapsedMS: elapsedMS,
+	})); err != nil {
+		return sum, fmt.Errorf("fleet: write done line: %w", err)
+	}
+	fmt.Fprintf(c.cfg.Log, "fleet: sweep complete: %d units (%d from checkpoint, %d dispatched, %d retried, %d hedged) in %.0f ms\n",
+		n, fromCkpt, sum.Dispatched, sum.Retried, sum.Hedged, elapsedMS)
+	return sum, nil
+}
+
+// runUnit executes one work unit on one worker: a single-interval sweep
+// request whose IntervalOffset pins it to the batch run's sub-stream.
+// It returns the raw row line, byte-exact as the worker streamed it.
+func (c *Coordinator) runUnit(ctx context.Context, cl *client.Client, unit int, iv workload.Interval) ([]byte, error) {
+	req := serve.SweepRequest{
+		Scenario:        c.spec.Scenario,
+		Seed:            c.spec.Seed,
+		SetsPerInterval: c.spec.SetsPerInterval,
+		MaxCandidates:   c.spec.MaxCandidates,
+		Lo:              iv.Lo,
+		Hi:              iv.Hi,
+		Approaches:      c.spec.Approaches,
+		IntervalOffset:  unit,
+		TimeoutMS:       float64(c.cfg.UnitTimeout) / float64(time.Millisecond),
+	}
+	var row []byte
+	_, err := cl.SweepStream(ctx, req, func(raw []byte, line serve.SweepLine) error {
+		if line.Type == "row" {
+			if row != nil {
+				return fmt.Errorf("unit %d produced more than one row", unit)
+			}
+			row = append([]byte(nil), raw...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if row == nil {
+		return nil, fmt.Errorf("unit %d stream carried no row", unit)
+	}
+	return row, nil
+}
+
+// orDefault substitutes def for an empty string.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

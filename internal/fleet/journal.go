@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JournalSchema versions the checkpoint file format.
+const JournalSchema = "mkss-fleet-ckpt/v1"
+
+// journalHeader is the first line of a checkpoint file: it pins the
+// sweep identity so a -resume against the journal of a *different*
+// sweep (other seed, range, approaches, ...) fails loudly instead of
+// silently merging incompatible rows.
+type journalHeader struct {
+	Type      string `json:"type"` // "header"
+	Schema    string `json:"schema"`
+	Key       string `json:"key"`
+	Intervals int    `json:"intervals"`
+}
+
+// journalUnit is one completed work unit: the interval index and the
+// raw row line, byte-exact as the worker streamed it, so a resumed run
+// re-emits checkpointed rows identical to freshly computed ones.
+type journalUnit struct {
+	Type string          `json:"type"` // "unit"
+	Unit int             `json:"unit"`
+	Row  json.RawMessage `json:"row"`
+}
+
+// Journal is the crash-safe completed-unit log: one JSONL line per
+// finished interval, flushed to disk before the row is considered
+// complete, so a coordinator crash never loses more than in-flight
+// work. It is single-writer (the coordinator's merge loop).
+type Journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// CreateJournal starts a fresh checkpoint at path (truncating any
+// previous file) with the sweep-identity header.
+func CreateJournal(path, key string, intervals int) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: create checkpoint: %w", err)
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f)}
+	if err := j.appendLine(journalHeader{Type: "header", Schema: JournalSchema, Key: key, Intervals: intervals}); err != nil {
+		_ = f.Close() // best effort; the append error is the one to report
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournal loads an existing checkpoint for -resume: it validates
+// the header against the sweep identity, returns the rows of every
+// completed unit, and reopens the file for appending the rest. A
+// missing file degrades to CreateJournal (resuming from nothing).
+func OpenJournal(path, key string, intervals int) (*Journal, map[int]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		j, cerr := CreateJournal(path, key, intervals)
+		return j, map[int]json.RawMessage{}, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: open checkpoint: %w", err)
+	}
+	rows, err := readJournal(f, key, intervals)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: reopen checkpoint for append: %w", err)
+	}
+	return &Journal{f: af, w: bufio.NewWriter(af)}, rows, nil
+}
+
+// readJournal parses and validates a checkpoint stream.
+func readJournal(r io.Reader, key string, intervals int) (map[int]json.RawMessage, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("fleet: read checkpoint header: %w", err)
+		}
+		return nil, errors.New("fleet: checkpoint is empty (no header)")
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Type != "header" {
+		return nil, fmt.Errorf("fleet: checkpoint header line is malformed: %q", sc.Text())
+	}
+	if hdr.Schema != JournalSchema {
+		return nil, fmt.Errorf("fleet: checkpoint schema %q, want %q", hdr.Schema, JournalSchema)
+	}
+	if hdr.Key != key {
+		return nil, fmt.Errorf("fleet: checkpoint belongs to a different sweep (key %q, this sweep %q); delete it or drop -resume", hdr.Key, key)
+	}
+	if hdr.Intervals != intervals {
+		return nil, fmt.Errorf("fleet: checkpoint has %d intervals, this sweep %d", hdr.Intervals, intervals)
+	}
+	rows := make(map[int]json.RawMessage)
+	for line := 2; sc.Scan(); line++ {
+		var u journalUnit
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil || u.Type != "unit" {
+			return nil, fmt.Errorf("fleet: checkpoint line %d is malformed: %q", line, sc.Text())
+		}
+		if u.Unit < 0 || u.Unit >= intervals {
+			return nil, fmt.Errorf("fleet: checkpoint line %d: unit %d out of range [0,%d)", line, u.Unit, intervals)
+		}
+		rows[u.Unit] = u.Row
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+	}
+	return rows, nil
+}
+
+// Append records one completed unit and flushes it to the OS before
+// returning — the durability point of the checkpoint protocol.
+func (j *Journal) Append(unit int, row []byte) error {
+	if j == nil {
+		return nil
+	}
+	return j.appendLine(journalUnit{Type: "unit", Unit: unit, Row: json.RawMessage(row)})
+}
+
+func (j *Journal) appendLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := j.w.Write(data); err != nil {
+		return fmt.Errorf("fleet: write checkpoint: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("fleet: flush checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file. Safe on nil.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		_ = j.f.Close() // the flush error is the one to report
+		return err
+	}
+	return j.f.Close()
+}

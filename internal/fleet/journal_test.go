@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := CreateJournal(path, "key-1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, []byte(`{"type":"row","util_lo":0.1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(3, []byte(`{"type":"row","util_lo":0.4}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rows, err := OpenJournal(path, "key-1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || string(rows[0]) != `{"type":"row","util_lo":0.1}` || string(rows[3]) != `{"type":"row","util_lo":0.4}` {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The reopened journal appends without clobbering prior units.
+	if err := j2.Append(4, []byte(`{"type":"row","util_lo":0.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err = OpenJournal(path, "key-1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("after append-reopen: %d rows, want 3", len(rows))
+	}
+}
+
+func TestJournalMissingFileDegradesToCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	j, rows, err := OpenJournal(path, "key-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %v, want none", rows)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file not created: %v", err)
+	}
+}
+
+func TestJournalValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	j, err := CreateJournal(path, "key-1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		key  string
+		n    int
+		want string
+	}{
+		{"foreign key", "key-2", 3, "different sweep"},
+		{"interval count", "key-1", 4, "intervals"},
+	}
+	for _, tc := range cases {
+		if _, _, err := OpenJournal(path, tc.key, tc.n); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	for name, content := range map[string]string{
+		"empty":          "",
+		"no header":      `{"type":"unit","unit":0,"row":{}}` + "\n",
+		"bad schema":     `{"type":"header","schema":"bogus/v9","key":"key-1","intervals":3}` + "\n",
+		"unit range":     `{"type":"header","schema":"mkss-fleet-ckpt/v1","key":"key-1","intervals":3}` + "\n" + `{"type":"unit","unit":7,"row":{}}` + "\n",
+		"malformed unit": `{"type":"header","schema":"mkss-fleet-ckpt/v1","key":"key-1","intervals":3}` + "\n" + "not json\n",
+	} {
+		p := filepath.Join(dir, strings.ReplaceAll(name, " ", "-")+".jsonl")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenJournal(p, "key-1", 3); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append(0, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

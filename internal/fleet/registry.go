@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/serve/client"
+)
+
+// workerState is a worker's availability in the registry.
+type workerState int
+
+const (
+	workerUp workerState = iota
+	workerDown
+	workerProbing // down, probe in flight
+)
+
+// worker is one mkservd behind the coordinator. All fields are owned by
+// the coordinator's event loop — the registry is deliberately lock-free
+// because exactly one goroutine mutates it; probe and unit goroutines
+// only touch their own *client.Client (which is concurrency-safe) and
+// report back over channels.
+type worker struct {
+	index int
+	addr  string
+	cl    *client.Client
+
+	state    workerState
+	inflight int
+	// consecutiveFails drives the probe backoff: a worker that keeps
+	// failing probes is probed exponentially less often (capped), so a
+	// long-dead machine costs a trickle of probes, not a hammering.
+	consecutiveFails int
+	nextProbe        time.Time
+
+	stats WorkerStats
+}
+
+// registry is the coordinator's static worker set: the -workers list,
+// probed periodically, marked down on dispatch/probe failures and back
+// up on a successful probe.
+type registry struct {
+	workers []*worker
+
+	probeBase time.Duration // first retry probe delay
+	probeMax  time.Duration // backoff cap
+}
+
+// newRegistry builds the registry over the configured addresses, all
+// initially up: the first dispatch doubles as the first health check,
+// and a dead worker is discovered exactly as fast as a probe would
+// have, without delaying a healthy fleet's start.
+func newRegistry(addrs []string, mk func(addr string) *client.Client, probeBase, probeMax time.Duration) *registry {
+	r := &registry{probeBase: probeBase, probeMax: probeMax}
+	for i, addr := range addrs {
+		r.workers = append(r.workers, &worker{
+			index: i,
+			addr:  addr,
+			cl:    mk(addr),
+			state: workerUp,
+			stats: WorkerStats{Addr: addr},
+		})
+	}
+	return r
+}
+
+// pick selects the up worker with capacity (inflight < maxInflight) that
+// is not excluded, preferring the least-loaded and breaking ties by
+// registry order — a deterministic choice given identical state.
+func (r *registry) pick(exclude map[int]bool, maxInflight int) *worker {
+	var best *worker
+	for _, w := range r.workers {
+		if w.state != workerUp || w.inflight >= maxInflight || exclude[w.index] {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight {
+			best = w
+		}
+	}
+	return best
+}
+
+// markDown transitions a worker to down after a dispatch or probe
+// failure, scheduling its next probe with exponential backoff.
+func (r *registry) markDown(w *worker, now time.Time) {
+	if w.state == workerUp {
+		w.stats.Markdowns++
+	}
+	w.state = workerDown
+	w.consecutiveFails++
+	backoff := r.probeMax
+	// Cap the shift well before it can overflow int64 nanoseconds.
+	if n := w.consecutiveFails - 1; n < 16 {
+		if b := r.probeBase << n; b < r.probeMax {
+			backoff = b
+		}
+	}
+	w.nextProbe = now.Add(backoff)
+}
+
+// markUp transitions a worker back to up after a successful probe.
+func (r *registry) markUp(w *worker) {
+	w.state = workerUp
+	w.consecutiveFails = 0
+}
+
+// probeDue returns the down workers whose next probe time has arrived,
+// marking them probing so a slow probe is not duplicated.
+func (r *registry) probeDue(now time.Time) []*worker {
+	var due []*worker
+	for _, w := range r.workers {
+		if w.state == workerDown && !now.Before(w.nextProbe) {
+			w.state = workerProbing
+			w.stats.Probes++
+			due = append(due, w)
+		}
+	}
+	return due
+}
+
+// allDown reports whether no worker is available or becoming available.
+func (r *registry) allDown() bool {
+	for _, w := range r.workers {
+		if w.state == workerUp {
+			return false
+		}
+	}
+	return true
+}
+
+// upCount counts currently-up workers.
+func (r *registry) upCount() int {
+	n := 0
+	for _, w := range r.workers {
+		if w.state == workerUp {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serve/client"
+)
+
+func testRegistry(addrs ...string) *registry {
+	mk := func(addr string) *client.Client { return client.New(client.Config{Addr: addr}) }
+	return newRegistry(addrs, mk, 10*time.Millisecond, 80*time.Millisecond)
+}
+
+func TestRegistryPickLeastLoadedDeterministic(t *testing.T) {
+	r := testRegistry("a:1", "b:1", "c:1")
+	// All idle: the lowest index wins the tie, deterministically.
+	if w := r.pick(nil, 2); w == nil || w.index != 0 {
+		t.Fatalf("pick = %+v, want worker 0", w)
+	}
+	r.workers[0].inflight = 2 // at capacity
+	r.workers[1].inflight = 1
+	if w := r.pick(nil, 2); w == nil || w.index != 2 {
+		t.Fatalf("pick = %+v, want idle worker 2 over loaded 1", w)
+	}
+	if w := r.pick(map[int]bool{2: true}, 2); w == nil || w.index != 1 {
+		t.Fatalf("pick = %+v, want worker 1 with 2 excluded", w)
+	}
+	if w := r.pick(map[int]bool{1: true, 2: true}, 2); w != nil {
+		t.Fatalf("pick = %+v, want nil (0 full, 1 and 2 excluded)", w)
+	}
+}
+
+func TestRegistryMarkdownBackoff(t *testing.T) {
+	r := testRegistry("a:1")
+	w := r.workers[0]
+	t0 := time.Unix(1000, 0)
+	var waits []time.Duration
+	for i := 0; i < 6; i++ {
+		r.markDown(w, t0)
+		waits = append(waits, w.nextProbe.Sub(t0))
+	}
+	// 10ms, 20ms, 40ms, then capped at the 80ms maximum.
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, ms := range want {
+		if waits[i] != ms*time.Millisecond {
+			t.Errorf("markdown %d: backoff %v, want %v", i+1, waits[i], ms*time.Millisecond)
+		}
+	}
+	if w.stats.Markdowns != 1 {
+		t.Errorf("markdowns = %d, want 1 (only the up→down transition counts)", w.stats.Markdowns)
+	}
+	r.markUp(w)
+	if w.consecutiveFails != 0 || w.state != workerUp {
+		t.Errorf("after markUp: fails=%d state=%v", w.consecutiveFails, w.state)
+	}
+	r.markDown(w, t0)
+	if got := w.nextProbe.Sub(t0); got != 10*time.Millisecond {
+		t.Errorf("backoff after recovery = %v, want reset to 10ms", got)
+	}
+}
+
+func TestRegistryProbeDue(t *testing.T) {
+	r := testRegistry("a:1", "b:1")
+	t0 := time.Unix(1000, 0)
+	r.markDown(r.workers[0], t0)
+	if due := r.probeDue(t0); len(due) != 0 {
+		t.Fatalf("probe due immediately: %v", due)
+	}
+	due := r.probeDue(t0.Add(20 * time.Millisecond))
+	if len(due) != 1 || due[0].index != 0 {
+		t.Fatalf("due = %v, want worker 0", due)
+	}
+	if due[0].state != workerProbing || due[0].stats.Probes != 1 {
+		t.Errorf("worker 0 = %+v, want probing with 1 probe", due[0])
+	}
+	// Probing workers are not re-issued while the probe is in flight.
+	if again := r.probeDue(t0.Add(time.Second)); len(again) != 0 {
+		t.Fatalf("probing worker re-issued: %v", again)
+	}
+	if r.allDown() {
+		t.Error("allDown with worker 1 up")
+	}
+	r.markDown(r.workers[1], t0)
+	if !r.allDown() {
+		t.Error("not allDown with 0 probing and 1 down")
+	}
+	if r.upCount() != 0 {
+		t.Errorf("upCount = %d, want 0", r.upCount())
+	}
+}

@@ -9,10 +9,12 @@ import (
 )
 
 // admitError is a rejection by the admission layer, carrying the HTTP
-// status and the Retry-After hint the handler should surface.
+// status, the machine-readable error code, and the Retry-After hint the
+// handler should surface.
 type admitError struct {
 	status     int
 	retryAfter time.Duration
+	code       string
 	msg        string
 }
 
@@ -98,6 +100,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		return nil, &admitError{
 			status:     429,
 			retryAfter: time.Second,
+			code:       CodeQueueFull,
 			msg:        fmt.Sprintf("job queue full (%d waiting on %d slots)", a.queueDepth, cap(a.sem)),
 		}
 	}

@@ -1,0 +1,329 @@
+// Package client is the stdlib HTTP client for the mkss serving API
+// (internal/serve): one typed wrapper per endpoint, context deadlines on
+// every call, optional transport-level retries with exponential backoff,
+// and incremental JSONL decoding of the streaming /v1/sweep endpoint.
+//
+// It exists so every consumer of the API — the mkload load generator,
+// the mkfleet coordinator, scripts — shares one request/decode path and
+// one error vocabulary: a non-2xx response surfaces as *HTTPError
+// carrying the server's machine-readable error code (serve.ErrorDoc), a
+// stream that ends without a terminal "done"/"error" line surfaces as
+// ErrTruncated, and everything else is a transport error.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// Config tunes a Client; the zero value of every field picks a sensible
+// default (see New).
+type Config struct {
+	// Addr is the server address: "host:port" or a full "http://..."
+	// base URL.
+	Addr string
+	// HTTPClient is the underlying transport; nil builds one without a
+	// client-level timeout (deadlines come from the per-call context).
+	HTTPClient *http.Client
+	// Retries is how many times a failed request is retried beyond the
+	// first attempt. Only transport errors and retryable statuses
+	// (429/502/503/504) are retried, and streaming requests only retry
+	// while no stream line has been consumed. Zero disables retries.
+	Retries int
+	// Backoff is the first retry's delay, doubling per retry (default
+	// 100ms). The per-call context keeps the total bounded.
+	Backoff time.Duration
+}
+
+// Client calls one mkss server. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	cfg  Config
+}
+
+// New builds a Client for cfg.Addr, applying the documented defaults.
+func New(cfg Config) *Client {
+	base := cfg.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	return &Client{base: base, hc: hc, cfg: cfg}
+}
+
+// Addr returns the normalized base URL the client talks to.
+func (c *Client) Addr() string { return c.base }
+
+// HTTPError is a non-2xx response, carrying the server's structured
+// error body (serve.ErrorDoc) when one was present.
+type HTTPError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("server %d: %s", e.Status, e.Msg)
+}
+
+// Retryable reports whether the failure is worth retrying — the request
+// was rejected by load shedding or a transient server condition, not by
+// its own content.
+func (e *HTTPError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return e.Status >= 500
+}
+
+// ErrTruncated marks a JSONL stream that ended without a terminal
+// "done" or "error" line — the producer died mid-stream.
+var ErrTruncated = errors.New("sweep stream truncated before its terminal line")
+
+// Info is per-request metadata alongside a decoded response.
+type Info struct {
+	// Status is the HTTP status code of the (final) attempt.
+	Status int
+	// Coalesced reports the X-Mkss-Coalesced marker: the response was
+	// shared with a concurrent identical request.
+	Coalesced bool
+	// Attempts counts the requests actually sent (1 = no retry needed).
+	Attempts int
+}
+
+// Simulate runs POST /v1/simulate.
+func (c *Client) Simulate(ctx context.Context, req serve.SimulateRequest) (*serve.RunDoc, Info, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	var doc serve.RunDoc
+	info, err := c.doJSON(ctx, http.MethodPost, "/v1/simulate", body, &doc)
+	if err != nil {
+		return nil, info, err
+	}
+	return &doc, info, nil
+}
+
+// Analyze runs GET /v1/analyze with the set spec as the request body.
+func (c *Client) Analyze(ctx context.Context, spec repro.SetSpec) (*serve.AnalyzeDoc, Info, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	var doc serve.AnalyzeDoc
+	info, err := c.doJSON(ctx, http.MethodGet, "/v1/analyze", body, &doc)
+	if err != nil {
+		return nil, info, err
+	}
+	return &doc, info, nil
+}
+
+// Healthz runs GET /healthz. A draining server answers 503 with a valid
+// body; Healthz returns the decoded body in that case too, alongside
+// the *HTTPError, so callers can distinguish "draining" from "dead".
+func (c *Client) Healthz(ctx context.Context) (*serve.HealthDoc, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/healthz", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var doc serve.HealthDoc
+	if derr := json.Unmarshal(data, &doc); derr == nil && doc.Status != "" {
+		if resp.StatusCode == http.StatusOK {
+			return &doc, nil
+		}
+		return &doc, &HTTPError{Status: resp.StatusCode, Msg: doc.Status}
+	}
+	return nil, httpError(resp.StatusCode, data)
+}
+
+// Metrics snapshots the numeric lines of GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/metrics", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) // status carries the failure
+		return nil, httpError(resp.StatusCode, data)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if f, err := strconv.ParseFloat(val, 64); err == nil {
+			out[name] = f
+		}
+	}
+	return out, sc.Err()
+}
+
+// SweepStream runs POST /v1/sweep and feeds every decoded JSONL line —
+// with its raw bytes, exactly as the server wrote them — to fn as it
+// arrives. It returns after the terminal line: nil on "done", the
+// server's message on "error", ErrTruncated if the stream ends without
+// either, or fn's error if fn aborts the stream. Retries only apply
+// before the first line is consumed, so fn never sees a line twice.
+func (c *Client) SweepStream(ctx context.Context, req serve.SweepRequest, fn func(raw []byte, line serve.SweepLine) error) (Info, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Info{}, err
+	}
+	var info Info
+	resp, err := c.doRetry(ctx, &info, http.MethodPost, "/v1/sweep", body)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
+	terminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var line serve.SweepLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return info, fmt.Errorf("parse sweep line %q: %w", raw, err)
+		}
+		switch line.Type {
+		case "done":
+			terminal = true
+		case "error":
+			return info, fmt.Errorf("sweep failed server-side: %s", line.Error)
+		}
+		if fn != nil {
+			if err := fn(raw, line); err != nil {
+				return info, err
+			}
+		}
+		if terminal {
+			return info, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return info, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return info, ErrTruncated
+}
+
+// doJSON sends one request with retries and decodes the 2xx body into v.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, v any) (Info, error) {
+	var info Info
+	resp, err := c.doRetry(ctx, &info, method, path, body)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return info, fmt.Errorf("decode %s response: %w", path, err)
+	}
+	return info, nil
+}
+
+// doRetry sends the request, retrying transport errors and retryable
+// statuses with exponential backoff up to cfg.Retries times. On success
+// the caller owns the response body.
+func (c *Client) doRetry(ctx context.Context, info *Info, method, path string, body []byte) (*http.Response, error) {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		info.Attempts = attempt + 1
+		resp, err := c.send(ctx, method, path, body, "application/json")
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil || attempt >= c.cfg.Retries {
+				return nil, err
+			}
+			continue
+		}
+		info.Status = resp.StatusCode
+		info.Coalesced = resp.Header.Get("X-Mkss-Coalesced") != ""
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return resp, nil
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) // status carries the failure; body is best-effort detail
+		if cerr := resp.Body.Close(); cerr != nil {
+			lastErr = cerr
+		}
+		herr := httpError(resp.StatusCode, data)
+		lastErr = herr
+		if attempt >= c.cfg.Retries || !herr.Retryable() {
+			return nil, herr
+		}
+	}
+}
+
+// send issues one request attempt.
+func (c *Client) send(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.hc.Do(req)
+}
+
+// httpError decodes a non-2xx body into an *HTTPError, falling back to
+// the raw text when the body is not a serve.ErrorDoc.
+func httpError(status int, body []byte) *HTTPError {
+	var doc serve.ErrorDoc
+	if err := json.Unmarshal(body, &doc); err == nil && doc.Error != "" {
+		return &HTTPError{Status: status, Code: doc.Code, Msg: doc.Error}
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return &HTTPError{Status: status, Msg: msg}
+}

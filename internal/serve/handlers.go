@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/experiment"
 	"repro/internal/timeu"
 	"repro/internal/workload"
 )
@@ -71,6 +72,13 @@ type SweepRequest struct {
 	Hi              float64  `json:"hi,omitempty"`
 	Approaches      []string `json:"approaches,omitempty"`
 	TimeoutMS       float64  `json:"timeout_ms,omitempty"`
+	// IntervalOffset shifts the per-interval seed derivation (see
+	// experiment.Config.IntervalOffset): a request for the single
+	// interval [lo, lo+0.1) with IntervalOffset i returns the row that
+	// interval i of a whole sweep with the same seed would produce, bit
+	// for bit. It is how the fleet coordinator shards one logical sweep
+	// into per-interval work units across workers.
+	IntervalOffset int `json:"interval_offset,omitempty"`
 }
 
 // SweepLine is one line of the /v1/sweep JSONL stream. Type is "start",
@@ -126,9 +134,48 @@ type AnalyzeDoc struct {
 	Cache       repro.CacheStats `json:"cache"`
 }
 
-// errorDoc is the uniform JSON error body.
-type errorDoc struct {
+// ErrorDoc is the uniform JSON error body of every 4xx/5xx response:
+// a human-readable message plus a stable machine-readable code clients
+// can branch on without parsing prose (the fleet coordinator classifies
+// retryable vs permanent failures through it).
+type ErrorDoc struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Error codes carried by ErrorDoc.Code. The code is a function of what
+// went wrong, not merely of the HTTP status: both admission rejections
+// are 429 but CodeQueueFull means "come back when a slot frees" while
+// CodeRateLimited means "slow down".
+const (
+	CodeBadRequest       = "bad_request"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeRateLimited      = "rate_limited"
+	CodeQueueFull        = "queue_full"
+	CodeUnprocessable    = "unprocessable"
+	CodeUnavailable      = "unavailable"
+	CodeDeadline         = "deadline"
+	CodeInternal         = "internal"
+)
+
+// codeForStatus maps an HTTP status onto the default error code; paths
+// that know better (queue full) pass an explicit code to rejectCode.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusTooManyRequests:
+		return CodeRateLimited
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	case http.StatusGatewayTimeout:
+		return CodeDeadline
+	}
+	return CodeInternal
 }
 
 // decodeBody strictly decodes the request body into v, bounding its
@@ -139,16 +186,23 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return dec.Decode(v)
 }
 
-// reject writes a JSON error with the given status; retryAfter > 0 adds
-// the Retry-After backpressure header (429/503 responses).
+// reject writes a JSON error with the given status and the status's
+// default error code; retryAfter > 0 adds the Retry-After backpressure
+// header (429/503 responses).
 func (s *Server) reject(w http.ResponseWriter, status int, retryAfter int, msg string) {
+	s.rejectCode(w, status, retryAfter, codeForStatus(status), msg)
+}
+
+// rejectCode is reject with an explicit error code for paths where the
+// status alone is ambiguous (the two 429 flavors).
+func (s *Server) rejectCode(w http.ResponseWriter, status int, retryAfter int, code, msg string) {
 	s.failures.Add(1)
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(errorDoc{Error: msg}); err != nil {
+	if err := json.NewEncoder(w).Encode(ErrorDoc{Error: msg, Code: code}); err != nil {
 		fmt.Fprintf(s.cfg.Log, "mkservd: write error response: %v\n", err)
 	}
 }
@@ -162,7 +216,7 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &ae):
 		s.rejected.Add(1)
-		s.reject(w, ae.status, int((ae.retryAfter+999999999)/1000000000), ae.msg)
+		s.rejectCode(w, ae.status, int((ae.retryAfter+999999999)/1000000000), ae.code, ae.msg)
 	case errors.Is(err, errHTTPDeadline):
 		s.reject(w, http.StatusGatewayTimeout, 0, err.Error())
 	case errors.Is(err, errHTTPCanceled):
@@ -317,6 +371,34 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// RowLine builds the "row" stream line for one completed sweep interval.
+// It is the single encoding of a sweep row shared by the streaming
+// /v1/sweep handler and any client that needs to reproduce the stream
+// locally (mkfleet -local): two producers of the same Row marshal to the
+// same bytes because they build the same SweepLine here.
+func RowLine(approaches []repro.Approach, row experiment.Row) SweepLine {
+	line := SweepLine{
+		Type:       "row",
+		UtilLo:     row.Interval.Lo,
+		UtilHi:     row.Interval.Hi,
+		Sets:       len(row.Sets),
+		Candidates: row.Candidates,
+		NormMean:   map[string]float64{},
+		NormCI95:   map[string]float64{},
+		Violations: map[string]int{},
+	}
+	for _, a := range approaches {
+		line.NormMean[a.String()] = row.NormMean[a]
+		line.NormCI95[a.String()] = row.NormCI[a]
+		line.Violations[a.String()] = row.Violations[a]
+	}
+	return line
+}
+
+// MarshalLine encodes a stream line exactly as the sweep handler does
+// (mustLine), for clients reproducing the stream byte for byte.
+func MarshalLine(v SweepLine) []byte { return mustLine(v) }
+
 // sweepKey canonicalizes the coalescing key of one sweep request.
 func sweepKey(sc repro.Scenario, as []repro.Approach, req SweepRequest) string {
 	names := make([]string, len(as))
@@ -330,6 +412,7 @@ func sweepKey(sc repro.Scenario, as []repro.Approach, req SweepRequest) string {
 		strconv.Itoa(req.MaxCandidates),
 		strconv.FormatFloat(req.Lo, 'g', -1, 64),
 		strconv.FormatFloat(req.Hi, 'g', -1, 64),
+		strconv.Itoa(req.IntervalOffset),
 		strings.Join(names, ","),
 	}, "|")
 }
@@ -364,6 +447,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Hi <= req.Lo {
 		s.reject(w, http.StatusBadRequest, 0, "hi must exceed lo")
+		return
+	}
+	if req.IntervalOffset < 0 {
+		s.reject(w, http.StatusBadRequest, 0, "interval_offset must be non-negative")
 		return
 	}
 	sc, err := repro.ParseScenario(orDefault(req.Scenario, "none"))
@@ -405,29 +492,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			cfg.Approaches = as
 			cfg.Intervals = []workload.Interval{iv}
 			// IntervalOffset keeps the streamed rows bit-identical to a
-			// batch sweep over [lo, hi) with the same seed.
-			cfg.IntervalOffset = i
+			// batch sweep over [lo, hi) with the same seed; the request's
+			// own offset stacks on top so a sharded single-interval
+			// request lands on the right sub-stream.
+			cfg.IntervalOffset = req.IntervalOffset + i
 			cfg.Workers = s.cfg.MaxInFlight
 			rep, err := s.runner.Sweep(lctx, cfg)
 			if err != nil {
 				return err
 			}
 			row := rep.Rows[0]
-			line := SweepLine{
-				Type:       "row",
-				UtilLo:     row.Interval.Lo,
-				UtilHi:     row.Interval.Hi,
-				Sets:       len(row.Sets),
-				Candidates: row.Candidates,
-				NormMean:   map[string]float64{},
-				NormCI95:   map[string]float64{},
-				Violations: map[string]int{},
-			}
+			line := RowLine(rep.Approaches, row)
 			s.aggMu.Lock()
 			for _, a := range rep.Approaches {
-				line.NormMean[a.String()] = row.NormMean[a]
-				line.NormCI95[a.String()] = row.NormCI[a]
-				line.Violations[a.String()] = row.Violations[a]
 				s.agg = s.agg.Add(row.Counters[a])
 			}
 			s.aggRuns += uint64(len(row.Sets) * len(rep.Approaches))
@@ -544,15 +621,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, doc)
 }
 
-// healthDoc is the /healthz body.
-type healthDoc struct {
+// HealthDoc is the /healthz body: liveness plus the load gauges a fleet
+// coordinator uses to pick workers.
+type HealthDoc struct {
 	Status   string `json:"status"`
 	InFlight int64  `json:"inflight"`
 	Queued   int64  `json:"queued"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	doc := healthDoc{Status: "ok", InFlight: s.inflight.Load() - 1, Queued: s.queued.Load()}
+	doc := HealthDoc{Status: "ok", InFlight: s.inflight.Load() - 1, Queued: s.queued.Load()}
 	status := http.StatusOK
 	if s.draining.Load() {
 		doc.Status = "draining"

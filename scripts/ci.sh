@@ -10,10 +10,12 @@
 # (Figures 1-5 vs results/golden/), bench smoke (one iteration of every
 # benchmark + a reduced mkbench sweep emitting BENCH_ci.json), the
 # allocation gate (BenchmarkSimulate* allocs/op vs the committed
-# results/bench_baseline.txt, >15% regression fails), and the serve smoke
+# results/bench_baseline.txt, >15% regression fails), the serve smoke
 # (mkservd on an ephemeral port driven by an mkload burst, with a
-# graceful-drain shutdown check). mklint runs even in -fast mode: the
-# lint pass is cheap.
+# graceful-drain shutdown check), and the fleet smoke (a distributed
+# mkfleet sweep over two workers, one killed mid-run, checked
+# byte-identical against the in-process reference). mklint runs even in
+# -fast mode: the lint pass is cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +91,33 @@ if [ "$fast" = 0 ]; then
   wait "$servd"   # graceful drain must exit 0
   grep -q '0 in-flight aborted' "$tmp/mkservd.log"
   echo "BENCH_serve.json written to $tmp (CI uploads this as an artifact)"
+
+  step "fleet smoke (mkfleet over 2 workers, one killed mid-run)"
+  go build -o "$tmp/mkfleet" ./cmd/mkfleet
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/w1.addr" -q > "$tmp/w1.log" 2>&1 &
+  w1=$!
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/w2.addr" -q > "$tmp/w2.log" 2>&1 &
+  w2=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/w1.addr" ] && [ -s "$tmp/w2.addr" ] && break; sleep 0.1; done
+  workers="$(cat "$tmp/w1.addr"),$(cat "$tmp/w2.addr")"
+  # Kill worker 2 the moment the first row is merged: still mid-run, so
+  # the fleet must mark it down and retry its units on the survivor.
+  ( for _ in $(seq 1 600); do
+      grep -q '"type":"row"' "$tmp/fleet.jsonl" 2>/dev/null && break
+      sleep 0.05
+    done
+    kill -9 "$w2" ) &
+  "$tmp/mkfleet" -workers "$workers" -scenario both -seed 2020 -sets 3 \
+    -candidates 4000 -checkpoint "$tmp/fleet.ckpt" -out "$tmp/fleet.jsonl" \
+    -bench "$tmp/BENCH_fleet.json" 2> "$tmp/fleet.log"
+  grep -q 'sweep complete' "$tmp/fleet.log"
+  "$tmp/mkfleet" -local -scenario both -seed 2020 -sets 3 \
+    -candidates 4000 -out "$tmp/local.jsonl" -q
+  grep '"type":"row"' "$tmp/fleet.jsonl" > "$tmp/fleet_rows.jsonl"
+  grep '"type":"row"' "$tmp/local.jsonl" > "$tmp/local_rows.jsonl"
+  cmp "$tmp/fleet_rows.jsonl" "$tmp/local_rows.jsonl"
+  kill "$w1"
+  echo "BENCH_fleet.json written to $tmp (CI uploads this as an artifact)"
 fi
 
 printf '\nall checks passed\n'
