@@ -110,6 +110,18 @@ func benchFig6(b *testing.B, sc Scenario) {
 // BenchmarkFig6aNoFault — Figure 6(a): energy under no faults.
 func BenchmarkFig6aNoFault(b *testing.B) { benchFig6(b, NoFault) }
 
+// BenchmarkSimulateSweepFig6a is the wall-clock-gated perf benchmark: the
+// same reduced Figure 6(a) sweep as BenchmarkFig6aNoFault, under the
+// BenchmarkSimulate* name prefix so scripts/benchgate.sh gates its ns/op
+// against results/bench_baseline.txt (generous margin — shared runners
+// are noisy; the gate exists to catch order-of-magnitude engine
+// regressions that allocs/op cannot see). The optimization history behind
+// the current baseline is ledgered under hypotheses/.
+func BenchmarkSimulateSweepFig6a(b *testing.B) {
+	b.ReportAllocs()
+	benchFig6(b, NoFault)
+}
+
 // BenchmarkFig6bPermanent — Figure 6(b): one permanent fault.
 func BenchmarkFig6bPermanent(b *testing.B) { benchFig6(b, PermanentOnly) }
 

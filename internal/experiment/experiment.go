@@ -181,6 +181,23 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	approaches := ensureST(cfg.Approaches)
 
+	// A fixed roster of scratches — one per worker slot — lives for the
+	// whole sweep: the arenas, pair-table rows and wheel buckets warm up
+	// during the first runs and then amortize across every interval,
+	// immune to sync.Pool's GC-cycle clearing. The roster is borrowed from
+	// (and returned to) cfg.ScratchPool so a caller-held pool still reuses
+	// the same scratches across sweeps (the mkservd server does).
+	scratches := make(chan *sim.Scratch, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		scratches <- cfg.ScratchPool.Get()
+	}
+	defer func() {
+		close(scratches)
+		for scr := range scratches {
+			cfg.ScratchPool.Put(scr)
+		}
+	}()
+
 	rows := make([]Row, len(cfg.Intervals))
 	done := make([]bool, len(cfg.Intervals))
 	// sem gates both set generation and simulation work across all
@@ -222,7 +239,7 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 						return
 					}
 					faultSeed := stats.DeriveSeed(cfg.Seed, uint64(1_000_000+(cfg.IntervalOffset+ivIdx)*10_000+si))
-					sr, err := runSet(ctx, s, approaches, cfg, faultSeed)
+					sr, err := runSet(ctx, s, approaches, cfg, faultSeed, scratches)
 					if err != nil {
 						mu.Lock()
 						if firstErr == nil && !isCtxErr(ctx, err) {
@@ -285,10 +302,13 @@ func isCtxErr(ctx context.Context, err error) bool {
 // RunSet simulates one task set under every approach with an identical
 // fault realization and returns the per-approach energies.
 func RunSet(s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64) (SetResult, error) {
-	return runSet(context.Background(), s, approaches, cfg, faultSeed)
+	return runSet(context.Background(), s, approaches, cfg, faultSeed, nil)
 }
 
-func runSet(ctx context.Context, s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64) (SetResult, error) {
+// runSet borrows engine working state from scratches (the sweep's
+// per-worker roster) when non-nil, else from cfg.ScratchPool (nil-safe: a
+// nil pool mints a fresh Scratch).
+func runSet(ctx context.Context, s *task.Set, approaches []core.Approach, cfg Config, faultSeed uint64, scratches chan *sim.Scratch) (SetResult, error) {
 	horizon := simHorizon(s, cfg.MinHorizon, cfg.HorizonCap)
 	sr := SetResult{
 		Set:      s,
@@ -307,8 +327,14 @@ func runSet(ctx context.Context, s *task.Set, approaches []core.Approach, cfg Co
 			HyperperiodCap: opts.HyperperiodCap,
 		})
 	}
-	scr := cfg.ScratchPool.Get()
-	defer cfg.ScratchPool.Put(scr)
+	var scr *sim.Scratch
+	if scratches != nil {
+		scr = <-scratches
+		defer func() { scratches <- scr }()
+	} else {
+		scr = cfg.ScratchPool.Get()
+		defer cfg.ScratchPool.Put(scr)
+	}
 	for _, a := range approaches {
 		// Each approach re-draws the same plan from the same seed, so the
 		// permanent fault instant/processor are identical across

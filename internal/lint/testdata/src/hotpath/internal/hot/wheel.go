@@ -1,0 +1,63 @@
+// Timing-wheel callback fixture: the regression class where a closure
+// over engine state escapes into the wheel's callback slot, allocating
+// a fresh closure + environment on every (re)registration inside the
+// event loop. Mirrors the calendar queue of internal/sim.
+package hot
+
+// wheel mimics the calendar queue: buckets of instants and a due
+// callback fired while draining a bucket.
+type wheel struct {
+	buckets [][]int64
+	onDue   func(int64)
+}
+
+var drained int64
+
+// advance drains due instants through the registered callback.
+//
+//mklint:hotpath
+func (w *wheel) advance(now int64) {
+	for _, b := range w.buckets {
+		for _, t := range b {
+			if t <= now {
+				w.onDue(t)
+			}
+		}
+	}
+}
+
+// register is the regression: the callback closes over the caller's
+// counter and is stored into the wheel, so every registration on the
+// advance path allocates the closure and its captured environment.
+//
+//mklint:hotpath
+func (w *wheel) register(cnt *int) {
+	w.onDue = func(t int64) { *cnt++ } // want hotpath "escaping closure captures cnt"
+}
+
+// registerHoisted is the fix: the callback touches only package state,
+// capturing nothing from the enclosing function — nothing to allocate.
+//
+//mklint:hotpath
+func (w *wheel) registerHoisted() {
+	w.onDue = func(t int64) { drained = t }
+}
+
+// drainInline visits due instants with a non-escaping literal: it never
+// leaves the stack, so capturing now/sum is free and not flagged.
+//
+//mklint:hotpath
+func (w *wheel) drainInline(now int64) int64 {
+	var sum int64
+	visit := func(t int64) {
+		if t <= now {
+			sum += t
+		}
+	}
+	for _, b := range w.buckets {
+		for _, t := range b {
+			visit(t)
+		}
+	}
+	return sum
+}

@@ -145,67 +145,105 @@ type MandatoryJob struct {
 	WCET     timeu.Time
 }
 
+// mandCursor tracks one task's next mandatory release during the k-way
+// merge of the per-task mandatory-job streams.
+type mandCursor struct {
+	j       int // next mandatory job index (1-based); 0 = exhausted
+	release timeu.Time
+}
+
+// mandIter streams the mandatory jobs of a set in (release, priority)
+// order — the k-way merge behind MandatoryJobs, exposed as an iterator so
+// the schedulability filter can consume jobs without materializing a
+// hyperperiod-sized slice per candidate (the allocation used to dominate
+// whole-sweep profiles).
+type mandIter struct {
+	s       *task.Set
+	kind    pattern.Kind
+	horizon timeu.Time
+	cur     []mandCursor
+}
+
+//mklint:hotpath
+func (it *mandIter) init(s *task.Set, kind pattern.Kind, horizon timeu.Time) {
+	it.s, it.kind, it.horizon = s, kind, horizon
+	it.cur = make([]mandCursor, len(s.Tasks))
+	for i := range s.Tasks {
+		it.advance(i, 0)
+	}
+}
+
+// advance moves task i's cursor to its next mandatory release in
+// [0, horizon), starting after job index from.
+//
+//mklint:hotpath
+func (it *mandIter) advance(i, from int) {
+	t := &it.s.Tasks[i]
+	for j := from + 1; ; j++ {
+		r := t.Release(j)
+		if r >= it.horizon {
+			it.cur[i] = mandCursor{}
+			return
+		}
+		if pattern.Mandatory(it.kind, j, t.M, t.K) {
+			it.cur[i] = mandCursor{j: j, release: r}
+			return
+		}
+	}
+}
+
+// next returns the next mandatory job in (release, priority) order; ok is
+// false once the streams are exhausted.
+//
+//mklint:hotpath
+func (it *mandIter) next() (mj MandatoryJob, ok bool) {
+	// Lowest release wins; the scan order breaks ties by priority.
+	best := -1
+	for i := range it.cur {
+		if it.cur[i].j > 0 && (best < 0 || it.cur[i].release < it.cur[best].release) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return MandatoryJob{}, false
+	}
+	t := &it.s.Tasks[best]
+	j := it.cur[best].j
+	mj = MandatoryJob{
+		TaskID:   t.ID,
+		Index:    j,
+		Release:  it.cur[best].release,
+		Deadline: t.AbsDeadline(j),
+		WCET:     t.WCET,
+	}
+	it.advance(best, j)
+	return mj, true
+}
+
 // MandatoryJobs enumerates the mandatory jobs of every task (per the given
 // static pattern) released in [0, horizon). Jobs are returned sorted by
 // release time, then by priority (task index).
 //
 // Each task's mandatory jobs are already in release order, so the sorted
 // output is a k-way merge of per-task streams rather than a sort of their
-// concatenation — the generator's schedulability filter calls this once
-// per candidate and the sort used to dominate whole-sweep profiles.
-//
-//mklint:hotpath
+// concatenation. Callers that only consume the stream once (the
+// schedulability filter) use mandIter directly and skip this slice.
 func MandatoryJobs(s *task.Set, kind pattern.Kind, horizon timeu.Time) []MandatoryJob {
-	type cursor struct {
-		j       int // next mandatory job index (1-based); 0 = exhausted
-		release timeu.Time
-	}
-	cur := make([]cursor, len(s.Tasks))
-	// advance moves task i's cursor to its next mandatory release in
-	// [0, horizon), starting after job index from.
-	advance := func(i, from int) {
-		t := &s.Tasks[i]
-		for j := from + 1; ; j++ {
-			r := t.Release(j)
-			if r >= horizon {
-				cur[i] = cursor{}
-				return
-			}
-			if pattern.Mandatory(kind, j, t.M, t.K) {
-				cur[i] = cursor{j: j, release: r}
-				return
-			}
-		}
-	}
+	var it mandIter
+	it.init(s, kind, horizon)
 	total := 0
-	for i, t := range s.Tasks {
+	for _, t := range s.Tasks {
 		if n := int((horizon-t.Offset)/t.Period) + 1; n > 0 {
 			total += n
 		}
-		advance(i, 0)
 	}
 	jobs := make([]MandatoryJob, 0, total)
 	for {
-		// Lowest release wins; the scan order breaks ties by priority.
-		best := -1
-		for i := range cur {
-			if cur[i].j > 0 && (best < 0 || cur[i].release < cur[best].release) {
-				best = i
-			}
-		}
-		if best < 0 {
+		mj, ok := it.next()
+		if !ok {
 			return jobs
 		}
-		t := &s.Tasks[best]
-		j := cur[best].j
-		jobs = append(jobs, MandatoryJob{
-			TaskID:   t.ID,
-			Index:    j,
-			Release:  cur[best].release,
-			Deadline: t.AbsDeadline(j),
-			WCET:     t.WCET,
-		})
-		advance(best, j)
+		jobs = append(jobs, mj)
 	}
 }
 
@@ -227,18 +265,21 @@ func SchedulableRPattern(s *task.Set, kind pattern.Kind, cap timeu.Time) bool {
 	if horizon <= 0 {
 		return false
 	}
-	jobs := MandatoryJobs(s, kind, horizon)
-	return simulateFP(s, jobs, horizon)
+	var it mandIter
+	it.init(s, kind, horizon)
+	return simulateFP(s, &it, horizon)
 }
 
-// simulateFP runs a fast priority-queue-free FP simulation of the given
-// jobs and reports whether all deadlines are met. Jobs must be sorted by
-// release time. The simulation walks release/completion events; at each
-// instant the highest-priority (lowest TaskID, then earliest index)
-// pending job runs.
+// simulateFP runs a fast priority-queue-free FP simulation of the jobs
+// streamed by src (sorted by release time) and reports whether all
+// deadlines are met. The simulation walks release/completion events; at
+// each instant the highest-priority (lowest TaskID, then earliest index)
+// pending job runs. Consuming the stream with a one-job lookahead instead
+// of a materialized slice keeps the per-candidate filter allocation-light
+// regardless of the hyperperiod.
 //
 //mklint:hotpath
-func simulateFP(s *task.Set, jobs []MandatoryJob, horizon timeu.Time) bool {
+func simulateFP(s *task.Set, src *mandIter, horizon timeu.Time) bool {
 	type active struct {
 		j         MandatoryJob
 		remaining timeu.Time
@@ -259,18 +300,18 @@ func simulateFP(s *task.Set, jobs []MandatoryJob, horizon timeu.Time) bool {
 		ready[pos] = a
 	}
 	now := timeu.Time(0)
-	next := 0
-	for next < len(jobs) || len(ready) > 0 {
+	pend, havePend := src.next()
+	for havePend || len(ready) > 0 {
 		if len(ready) == 0 {
 			// Idle until the next release.
-			if next >= len(jobs) {
+			if !havePend {
 				break
 			}
-			now = timeu.Max(now, jobs[next].Release)
+			now = timeu.Max(now, pend.Release)
 		}
-		for next < len(jobs) && jobs[next].Release <= now {
-			insert(active{j: jobs[next], remaining: jobs[next].WCET})
-			next++
+		for havePend && pend.Release <= now {
+			insert(active{j: pend, remaining: pend.WCET})
+			pend, havePend = src.next()
 		}
 		if len(ready) == 0 {
 			continue
@@ -278,8 +319,8 @@ func simulateFP(s *task.Set, jobs []MandatoryJob, horizon timeu.Time) bool {
 		cur := &ready[0]
 		// Run until completion or the next release, whichever first.
 		until := now + cur.remaining
-		if next < len(jobs) && jobs[next].Release < until {
-			until = jobs[next].Release
+		if havePend && pend.Release < until {
+			until = pend.Release
 		}
 		cur.remaining -= until - now
 		now = until

@@ -198,6 +198,11 @@ type Engine struct {
 	sink     metrics.Sink
 	permHit  *fault.Permanent
 	events   int
+
+	// checkNext, when non-nil, is called with every nextEventTime result
+	// before the engine advances. Tests use it to cross-check the wheel
+	// against a reference scan; the nil check is the hot path's only cost.
+	checkNext func(next timeu.Time)
 }
 
 // New constructs an engine; call Run (or RunContext) exactly once.
@@ -228,6 +233,15 @@ func New(set *task.Set, policy Policy, cfg Config) (*Engine, error) {
 		scr = NewScratch()
 	}
 	scr.prepare(set.N())
+	scr.wheel.sizeFor(set)
+	for i := range set.Tasks {
+		if r := set.Tasks[i].Release(1); r < scr.minRel {
+			scr.minRel = r
+		}
+	}
+	if scr.minRel > 0 && scr.minRel < cfg.Horizon {
+		scr.wheel.schedule(scr.minRel)
+	}
 	e := &Engine{
 		set:    set,
 		policy: policy,
@@ -347,13 +361,29 @@ func (e *Engine) Admit(j *task.Job, proc int) {
 	if e.procs[proc].dead {
 		proc = e.Survivor()
 	}
-	key := pairKey{j.TaskID, j.Index}
-	p, ok := e.scr.pairs[key]
-	if !ok {
+	slot := e.scr.pairSlot(j.TaskID, j.Index)
+	p := *slot
+	if p == nil {
 		p = e.scr.jobPairs.get()
-		*p = jobPair{key: key, class: j.Class, dl: j.Deadline}
-		e.scr.pairs[key] = p
+		*p = jobPair{key: pairKey{j.TaskID, j.Index}, class: j.Class, dl: j.Deadline}
+		*slot = p
 		e.scr.open = append(e.scr.open, p)
+		// The pair settles at its deadline at the latest: make that
+		// instant a scheduled stop and keep the due-scan lower bound
+		// current.
+		e.scr.wheel.schedule(p.dl)
+		if p.dl < e.scr.dueAt {
+			e.scr.dueAt = p.dl
+		}
+	}
+	// Postponed activations (backup r̃ = r + θ) and dual-priority
+	// promotions are the two future instants at which this copy changes
+	// the schedule without any other event firing.
+	if j.Release > e.now {
+		e.scr.wheel.schedule(j.Release)
+	}
+	if j.Promote > e.now && j.Promote < j.Deadline {
+		e.scr.wheel.schedule(j.Promote)
 	}
 	if p.ncopies == len(p.copies) {
 		panic(fmt.Sprintf("sim: more than %d copies admitted for task %d job %d", len(p.copies), j.TaskID+1, j.Index))
@@ -375,13 +405,13 @@ func (e *Engine) Admit(j *task.Job, proc int) {
 //
 //mklint:hotpath
 func (e *Engine) SettleSkip(taskID, index int) {
-	key := pairKey{taskID, index}
-	if _, ok := e.scr.pairs[key]; ok {
+	slot := e.scr.pairSlot(taskID, index)
+	if *slot != nil {
 		panic("sim: SettleSkip on an admitted job")
 	}
 	p := e.scr.jobPairs.get()
-	*p = jobPair{key: key, class: task.Optional, settled: true}
-	e.scr.pairs[key] = p
+	*p = jobPair{key: pairKey{taskID, index}, class: task.Optional, settled: true}
+	*slot = p
 	e.counters.OptionalSkipped++
 	if e.sink != nil {
 		e.sink.Emit(metrics.Event{T: e.now, Kind: metrics.EvSkip, Proc: -1, TaskID: taskID, Index: index, Copy: metrics.CopyNone})
@@ -476,10 +506,20 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 // the hyper period" in its worked examples (e.g. the last τ2 job of
 // Figure 3, released at 24 with deadline 28, does not execute before 25).
 //
+// The scan is guarded by the cached minimum next release: between release
+// instants it costs one comparison. One firing drains every task
+// releasing at this instant (in priority order — same-instant batching),
+// then re-arms the wheel with the single next release instant.
+//
 //mklint:hotpath
 func (e *Engine) processReleases() {
+	if e.scr.minRel != e.now {
+		return
+	}
 	idx := e.scr.nextIdx
-	for i, t := range e.set.Tasks {
+	minRel := timeu.Infinity
+	for i := range e.set.Tasks {
+		t := e.set.Tasks[i]
 		for t.Release(idx[i]) == e.now && t.Release(idx[i]) < e.cfg.Horizon {
 			if t.AbsDeadline(idx[i]) <= e.cfg.Horizon {
 				e.counters.Released++
@@ -490,6 +530,13 @@ func (e *Engine) processReleases() {
 			}
 			idx[i]++
 		}
+		if r := t.Release(idx[i]); r < minRel {
+			minRel = r
+		}
+	}
+	e.scr.minRel = minRel
+	if minRel < e.cfg.Horizon {
+		e.scr.wheel.schedule(minRel)
 	}
 }
 
@@ -518,6 +565,7 @@ func (e *Engine) processCompletions() {
 		}
 		e.emitJob(metrics.EvComplete, p.id, j, note)
 		e.removeLive(p.id, j)
+		e.unschedJob(j)
 		if j.Completed() {
 			e.settleEffective(j)
 		} else {
@@ -531,13 +579,15 @@ func (e *Engine) processCompletions() {
 //
 //mklint:hotpath
 func (e *Engine) settleEffective(j *task.Job) {
-	key := pairKey{j.TaskID, j.Index}
-	p := e.scr.pairs[key]
+	p := e.scr.pairAt(j.TaskID, j.Index)
 	if p.settled {
 		return
 	}
 	p.settled = true
 	e.dropOpen(p)
+	if p.dl > e.now {
+		e.scr.wheel.unschedule(p.dl)
+	}
 	if j.Copy == task.Backup {
 		// The spare carried the job after the main copy was lost or
 		// faulty — the standby-sparing recovery actually paying off.
@@ -557,8 +607,7 @@ func (e *Engine) settleEffective(j *task.Job) {
 //
 //mklint:hotpath
 func (e *Engine) copyFailed(j *task.Job) {
-	key := pairKey{j.TaskID, j.Index}
-	p := e.scr.pairs[key]
+	p := e.scr.pairAt(j.TaskID, j.Index)
 	if p.settled {
 		return
 	}
@@ -569,7 +618,25 @@ func (e *Engine) copyFailed(j *task.Job) {
 	}
 	p.settled = true
 	e.dropOpen(p)
+	if p.dl > e.now {
+		e.scr.wheel.unschedule(p.dl)
+	}
 	e.recordOutcome(j.TaskID, j.Index, false)
+}
+
+// unschedJob drops a copy's still-pending future instants (postponed
+// activation, dual-priority promotion) from the wheel once the copy can
+// no longer change the schedule. Instants already reached were consumed
+// by the wheel itself and need no removal.
+//
+//mklint:hotpath
+func (e *Engine) unschedJob(j *task.Job) {
+	if j.Release > e.now {
+		e.scr.wheel.unschedule(j.Release)
+	}
+	if j.Promote > e.now && j.Promote < j.Deadline {
+		e.scr.wheel.unschedule(j.Promote)
+	}
 }
 
 // cancelCopy removes a pending/running copy from the system; reason is a
@@ -580,6 +647,7 @@ func (e *Engine) copyFailed(j *task.Job) {
 func (e *Engine) cancelCopy(c *task.Job, reason string) {
 	c.Canceled = true
 	c.FinishTime = e.now
+	e.unschedJob(c)
 	proc := -1
 	for pid := 0; pid < NumProcs; pid++ {
 		p := &e.procs[pid]
@@ -603,8 +671,16 @@ func (e *Engine) cancelCopy(c *task.Job, reason string) {
 // processDeadlines settles every open pair whose deadline has arrived and
 // aborts its unfinished copies.
 //
+// The scan is guarded by dueAt, a lower bound on the earliest open
+// deadline (lowered on admission, recomputed exactly after each scan;
+// early settlement may leave it conservatively low, costing at worst one
+// empty scan at an already-scheduled stop).
+//
 //mklint:hotpath
 func (e *Engine) processDeadlines() {
+	if e.scr.dueAt > e.now {
+		return
+	}
 	// Iterate over a snapshot: settlement mutates e.scr.open. The snapshot
 	// buffer lives in the scratch so steady-state runs don't allocate.
 	due := e.scr.due[:0]
@@ -624,6 +700,13 @@ func (e *Engine) processDeadlines() {
 		}
 		e.recordOutcome(p.key.taskID, p.key.index, false)
 	}
+	dueAt := timeu.Infinity
+	for _, p := range e.scr.open {
+		if p.dl < dueAt {
+			dueAt = p.dl
+		}
+	}
+	e.scr.dueAt = dueAt
 }
 
 // processPermanentFault kills the faulted processor when its time comes.
@@ -645,6 +728,7 @@ func (e *Engine) processPermanentFault() {
 	for _, c := range e.scr.live[pf.Proc] {
 		c.Canceled = true
 		c.FinishTime = e.now
+		e.unschedJob(c)
 		if c.Copy == task.Backup {
 			if c.Started {
 				e.counters.BackupsCanceledPartial++
@@ -742,52 +826,42 @@ func (e *Engine) nextWork(proc int) timeu.Time {
 			next = j.Release
 		}
 	}
-	for i, t := range e.set.Tasks {
-		if r := t.Release(e.scr.nextIdx[i]); r < e.cfg.Horizon && r < next {
-			next = r
-		}
+	// The cached minimum next release stands in for the per-task scan: the
+	// processReleases guard keeps it exact between release instants.
+	if r := e.scr.minRel; r < e.cfg.Horizon && r < next {
+		next = r
 	}
 	return next
 }
 
-// nextEventTime computes the next instant anything can change.
+// nextEventTime computes the next instant anything can change. The wheel
+// holds every time-triggered instant (the next task release, open-pair
+// deadlines, postponed activations, promotions); only state-dependent
+// instants — the completion of whatever runs now and the permanent fault
+// — are computed directly.
 //
 //mklint:hotpath
 func (e *Engine) nextEventTime() (timeu.Time, error) {
 	next := e.cfg.Horizon
-	add := func(t timeu.Time) {
-		if t > e.now && t < next {
-			next = t
-		}
-	}
-	for i, t := range e.set.Tasks {
-		add(t.Release(e.scr.nextIdx[i]))
+	if w := e.scr.wheel.nextAfter(e.now); w < next {
+		next = w
 	}
 	for pid := range e.procs {
 		if cur := e.procs[pid].cur; cur != nil {
-			add(e.now + cur.Remaining)
-		}
-	}
-	for _, p := range e.scr.open {
-		add(p.dl)
-	}
-	for pid := 0; pid < NumProcs; pid++ {
-		for _, j := range e.scr.live[pid] {
-			if j.Done || j.Canceled {
-				continue
-			}
-			add(j.Release)
-			if j.Promote > e.now && j.Promote < j.Deadline {
-				add(j.Promote)
+			if t := e.now + cur.Remaining; t > e.now && t < next {
+				next = t
 			}
 		}
 	}
-	if pf := e.cfg.Faults.Permanent; pf != nil && e.permHit == nil {
-		add(pf.At)
+	if pf := e.cfg.Faults.Permanent; pf != nil && e.permHit == nil && pf.At > e.now && pf.At < next {
+		next = pf.At
 	}
 	if next <= e.now && e.now < e.cfg.Horizon {
 		//mklint:allow hotpath — stall diagnostic on a should-never-happen error path
 		return 0, fmt.Errorf("sim: stalled at %v (no future event)", e.now)
+	}
+	if e.checkNext != nil {
+		e.checkNext(next)
 	}
 	return next, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/task"
+	"repro/internal/timeu"
 )
 
 // arenaChunk is the allocation granularity of an arena. Chunking keeps
@@ -36,16 +37,23 @@ func (a *arena[T]) get() *T {
 func (a *arena[T]) reset() { a.n = 0 }
 
 // Scratch is the reusable working state of one engine run: job and pair
-// records, per-processor ready queues, the settlement map, outcome rows
-// and the trace buffer. A fresh engine with a warm Scratch allocates
-// (almost) nothing; Result values copy out of it, so reusing a Scratch
-// never corrupts previously returned results.
+// records, per-processor ready queues, the settlement table, the timing
+// wheel, outcome rows and the trace buffer. A fresh engine with a warm
+// Scratch allocates (almost) nothing; Result values copy out of it, so
+// reusing a Scratch never corrupts previously returned results.
 //
 // A Scratch serves one engine at a time — share across concurrent runs
-// through a ScratchPool, never directly.
+// through a ScratchPool, never directly. A sweep hands one Scratch to
+// each worker for its whole lifetime (see experiment.RunContext), so the
+// arenas, the pair table rows and the wheel buckets amortize across every
+// interval of the sweep, not just across the approaches of one set.
 type Scratch struct {
-	nextIdx  []int
-	pairs    map[pairKey]*jobPair
+	nextIdx []int
+	// pairTab is the settlement table: pairTab[taskID][index-1] is the
+	// jobPair of J_(taskID,index), nil until the job is admitted or
+	// skipped. Job indices are dense and released in order, so a slice
+	// row beats a map: no hashing on the admit/settle path.
+	pairTab  [][]*jobPair
 	open     []*jobPair
 	due      []*jobPair
 	live     [NumProcs][]*task.Job
@@ -53,11 +61,18 @@ type Scratch struct {
 	trace    []Segment
 	jobs     arena[task.Job]
 	jobPairs arena[jobPair]
+	// wheel holds every scheduled future instant (releases, deadlines,
+	// postponed activations, promotions); minRel caches the next task
+	// release and dueAt a lower bound on the earliest open deadline, so
+	// the per-event release and settlement scans run only when due.
+	wheel  timeWheel
+	minRel timeu.Time
+	dueAt  timeu.Time
 }
 
 // NewScratch builds an empty Scratch; it warms up over its first run.
 func NewScratch() *Scratch {
-	return &Scratch{pairs: make(map[pairKey]*jobPair)}
+	return &Scratch{}
 }
 
 // prepare readies the scratch for a run over n tasks: every container is
@@ -70,7 +85,13 @@ func (s *Scratch) prepare(n int) {
 	for i := range s.nextIdx {
 		s.nextIdx[i] = 1
 	}
-	clear(s.pairs)
+	if cap(s.pairTab) < n {
+		s.pairTab = make([][]*jobPair, n)
+	}
+	s.pairTab = s.pairTab[:n]
+	for i := range s.pairTab {
+		s.pairTab[i] = s.pairTab[i][:0]
+	}
 	s.open = s.open[:0]
 	s.due = s.due[:0]
 	for p := 0; p < NumProcs; p++ {
@@ -86,6 +107,28 @@ func (s *Scratch) prepare(n int) {
 	s.trace = s.trace[:0]
 	s.jobs.reset()
 	s.jobPairs.reset()
+	s.wheel.reset()
+	s.minRel = timeu.Infinity
+	s.dueAt = timeu.Infinity
+}
+
+// pairSlot returns the settlement-table slot of J_(taskID,index), growing
+// the task's row on first touch. Rows grow by at most one live window per
+// admit (indices arrive in release order), so growth is amortized O(1)
+// and the capacity is retained across runs.
+func (s *Scratch) pairSlot(taskID, index int) **jobPair {
+	row := s.pairTab[taskID]
+	for len(row) < index {
+		row = append(row, nil)
+	}
+	s.pairTab[taskID] = row
+	return &row[index-1]
+}
+
+// pairAt returns the jobPair of an admitted or skipped job; the job must
+// have a slot (callers only look up jobs that went through Admit).
+func (s *Scratch) pairAt(taskID, index int) *jobPair {
+	return s.pairTab[taskID][index-1]
 }
 
 // ScratchPool shares Scratch values between concurrent workers via a

@@ -1,51 +1,83 @@
 #!/usr/bin/env bash
-# scripts/benchgate.sh BASELINE NEW — the allocation-regression gate.
+# scripts/benchgate.sh BASELINE NEW — the perf regression gate.
 #
-# Compares the mean allocs/op of every BenchmarkSimulate* benchmark in NEW
-# against the committed BASELINE (results/bench_baseline.txt) and fails if
-# any regressed by more than 15%. allocs/op is used because it is nearly
-# machine-independent, unlike ns/op on shared CI runners. When benchstat
-# is installed it is also run for the full (informational) comparison;
-# the gate itself never needs it, so CI works without network installs.
+# Compares NEW against the committed BASELINE (results/bench_baseline.txt)
+# on two axes:
+#   * mean allocs/op of every BenchmarkSimulate* benchmark, margin 15% —
+#     allocs/op is nearly machine-independent, so the margin is tight;
+#   * mean ns/op of the BenchmarkSimulateSweep* wall-clock benchmarks,
+#     margin 40% — generous because shared CI runners are noisy, but tight
+#     enough to catch the order-of-magnitude engine regressions that
+#     allocs/op cannot see (run these with -count=6 or more).
+#
+# A NEW file with zero BenchmarkSimulate* lines fails loudly: an empty or
+# truncated bench run must never pass the gate silently. When benchstat is
+# installed it is also run for the full (informational) comparison; the
+# gate itself never needs it, so CI works without network installs.
 set -euo pipefail
 
 baseline=$1
 new=$2
 
+if ! grep -q '^BenchmarkSimulate' "$new"; then
+  echo "FAIL: $new contains no BenchmarkSimulate* results — bench run empty or truncated, nothing to gate" >&2
+  exit 1
+fi
+
 if command -v benchstat >/dev/null 2>&1; then
   benchstat "$baseline" "$new" || true
 fi
 
-awk '
-  FNR == 1 { file++ }
+awk -v newfile="$new" '
   /^BenchmarkSimulate/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-    v = ""
-    for (i = 2; i <= NF; i++) if ($i == "allocs/op") v = $(i - 1)
-    if (v == "") next
-    if (file == 1) { bsum[name] += v; bn[name]++ }
-    else          { nsum[name] += v; nn[name]++ }
+    isnew = (FILENAME == newfile)
+    for (i = 2; i <= NF; i++) {
+      v = $(i - 1)
+      if ($i == "allocs/op") {
+        if (isnew) { newAllocSum[name] += v; newAllocN[name]++ }
+        else       { baseAllocSum[name] += v; baseAllocN[name]++ }
+      } else if ($i == "ns/op") {
+        if (isnew) { newNsSum[name] += v; newNsN[name]++ }
+        else       { baseNsSum[name] += v; baseNsN[name]++ }
+      }
+    }
   }
   END {
     status = 0
     checked = 0
-    for (name in nsum) {
-      mean = nsum[name] / nn[name]
-      if (!(name in bsum)) {
+    for (name in newAllocN) {
+      mean = newAllocSum[name] / newAllocN[name]
+      if (!(name in baseAllocN)) {
         printf "%-46s %10.1f allocs/op (new benchmark, no baseline)\n", name, mean
         continue
       }
-      base = bsum[name] / bn[name]
+      base = baseAllocSum[name] / baseAllocN[name]
       checked++
-      printf "%-46s %10.1f -> %8.1f allocs/op (%+.1f%%)\n", name, base, mean, (mean - base) / base * 100
+      printf "%-46s %10.1f -> %10.1f allocs/op (%+.1f%%)\n", name, base, mean, (mean - base) / base * 100
       if (mean > base * 1.15) {
         printf "FAIL: %s allocs/op regressed more than 15%% vs results/bench_baseline.txt\n", name
         status = 1
       }
     }
+    for (name in newNsN) {
+      if (name !~ /^BenchmarkSimulateSweep/) continue
+      mean = newNsSum[name] / newNsN[name]
+      if (!(name in baseNsN)) {
+        printf "%-46s %10.0f ns/op (new benchmark, no baseline)\n", name, mean
+        continue
+      }
+      base = baseNsSum[name] / baseNsN[name]
+      checked++
+      printf "%-46s %10.0f -> %10.0f ns/op (%+.1f%%)\n", name, base, mean, (mean - base) / base * 100
+      if (mean > base * 1.40) {
+        printf "FAIL: %s ns/op regressed more than 40%% vs results/bench_baseline.txt\n", name
+        status = 1
+      }
+    }
     if (checked == 0) {
-      print "FAIL: no BenchmarkSimulate* results to compare" > "/dev/stderr"
+      print "FAIL: no BenchmarkSimulate* results to compare against the baseline" > "/dev/stderr"
       status = 1
     }
     exit status

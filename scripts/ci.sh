@@ -8,9 +8,12 @@
 # Steps: gofmt -s, go vet, go build, mklint (the project's own static
 # analysis, see cmd/mklint), go test, go test -race, golden-figure diff
 # (Figures 1-5 vs results/golden/), bench smoke (one iteration of every
-# benchmark + a reduced mkbench sweep emitting BENCH_ci.json), the
-# allocation gate (BenchmarkSimulate* allocs/op vs the committed
-# results/bench_baseline.txt, >15% regression fails), the serve smoke
+# benchmark + a reduced mkbench sweep emitting BENCH_ci.json), the perf
+# gate (BenchmarkSimulate* allocs/op, >15% fails, plus the
+# BenchmarkSimulateSweep* wall clock, >40% fails, both vs the committed
+# results/bench_baseline.txt at count=6, then a reduced mkbench sweep
+# whose mkss-bench/v1 document feeds the cross-PR trajectory log via
+# scripts/trajectory.sh), the serve smoke
 # (mkservd on an ephemeral port driven by an mkload burst, with a
 # graceful-drain shutdown check), and the fleet smoke (a distributed
 # mkfleet sweep over two workers, one killed mid-run, checked
@@ -68,9 +71,12 @@ if [ "$fast" = 0 ]; then
   go run ./cmd/mkbench -fig 6a -sets 3 -candidates 800 -q -json -jsonout "$tmp/BENCH_ci.json"
   echo "BENCH_ci.json written to $tmp (CI uploads this as an artifact)"
 
-  step "bench gate (allocs/op vs results/bench_baseline.txt)"
+  step "perf gate (allocs/op + sweep wall clock vs results/bench_baseline.txt, count=6)"
   go test -run '^$' -bench 'BenchmarkSimulate' -benchmem -count 6 . > "$tmp/bench_new.txt"
   scripts/benchgate.sh results/bench_baseline.txt "$tmp/bench_new.txt"
+  go run ./cmd/mkbench -fig 6a -sets 4 -candidates 1200 -q -json -jsonout "$tmp/BENCH_pr6.json"
+  scripts/trajectory.sh "$tmp/BENCH_pr6.json" "$tmp/bench_trajectory.jsonl"
+  echo "BENCH_pr6.json written to $tmp (CI uploads it and the trajectory line as artifacts)"
 
   step "serve smoke (mkservd + mkload)"
   go build -o "$tmp/mkservd" ./cmd/mkservd
