@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mkload -addr 127.0.0.1:8080 -duration 5s -c 8
-//	mkload -addr $A -mix simulate=0.85,analyze=0.10,sweep=0.05
+//	mkload -addr $A -mix simulate=0.45,estimate=0.40,analyze=0.10,sweep=0.05
 //	mkload -addr $A -rate 500 -c 64 -out results/BENCH_serve.json
 //
 // 429 responses are counted as rejected (backpressure working), not as
@@ -58,7 +58,7 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 5*time.Second, "burst duration")
 	flag.IntVar(&o.workers, "c", 8, "concurrent workers (closed-loop concurrency / open-loop cap)")
 	flag.Float64Var(&o.rate, "rate", 0, "open-loop request rate per second (0 = closed loop)")
-	flag.StringVar(&o.mix, "mix", "simulate=1", "request mix, e.g. simulate=0.85,analyze=0.10,sweep=0.05")
+	flag.StringVar(&o.mix, "mix", "simulate=1", "request mix, e.g. simulate=0.45,estimate=0.40,analyze=0.10,sweep=0.05")
 	flag.StringVar(&o.setPath, "set", "", "JSON task-set spec for simulate/analyze requests (- = stdin; default: the paper's §III set)")
 	flag.StringVar(&o.approach, "approach", "selective", "approach for simulate requests")
 	flag.Float64Var(&o.horizon, "horizon", 20, "simulate horizon in ms")
@@ -76,7 +76,7 @@ func main() {
 }
 
 // endpointNames orders the mix endpoints for deterministic draws/output.
-var endpointNames = []string{"simulate", "analyze", "sweep"}
+var endpointNames = []string{"simulate", "estimate", "analyze", "sweep"}
 
 // parseMix parses "a=0.8,b=0.2" into normalized weights over the known
 // endpoints.
@@ -282,6 +282,13 @@ func buildSpecs(o options, mix map[string]float64) (map[string]requestSpec, erro
 		req := serve.SimulateRequest{Set: spec, Approach: o.approach, HorizonMS: o.horizon}
 		specs["simulate"] = requestSpec{name: "simulate", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
 			_, info, err := cl.Simulate(ctx, req)
+			return info, err
+		}}
+	}
+	if mix["estimate"] > 0 {
+		req := serve.EstimateRequest{Set: spec, Approach: o.approach, HorizonMS: o.horizon}
+		specs["estimate"] = requestSpec{name: "estimate", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
+			_, _, info, err := cl.Estimate(ctx, req)
 			return info, err
 		}}
 	}

@@ -12,6 +12,9 @@
 //
 //	POST /v1/simulate   one run (coalesced across identical requests)
 //	POST /v1/sweep      utilization sweep, streamed as chunked JSONL
+//	GET  /v1/estimate   closed-form analytical-twin answer (also POST);
+//	                    consumes no execution slot, refine=true falls
+//	                    through to the /v1/simulate path byte-identically
 //	GET  /v1/analyze    offline analysis products for a task set
 //	GET  /healthz       liveness and drain state
 //	GET  /metrics       counters and gauges, text format

@@ -8,6 +8,7 @@
 //	mksim -set tasks.json -approach selective -scenario permanent -seed 7
 //	mksim -demo -json               # machine-readable run report on stdout
 //	mksim -demo -events run.jsonl   # structured event trace (JSONL)
+//	mksim -demo -estimate           # analytical-twin answer, no simulation
 //
 // The task-set JSON schema:
 //
@@ -25,6 +26,9 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/analysis"
+	"repro/internal/estimate"
+	"repro/internal/serve/wire"
 )
 
 // options collects the parsed flags.
@@ -40,6 +44,8 @@ type options struct {
 	perTask   bool
 	jsonOut   bool
 	events    string
+	estimate  bool
+	backend   string
 }
 
 func main() {
@@ -55,6 +61,8 @@ func main() {
 	flag.BoolVar(&o.perTask, "pertask", false, "print per-task energy/outcome attribution")
 	flag.BoolVar(&o.jsonOut, "json", false, "print a machine-readable run report (schema mkss-run/v1) instead of text")
 	flag.StringVar(&o.events, "events", "", "write the structured event trace as JSONL to this file")
+	flag.BoolVar(&o.estimate, "estimate", false, "answer from an estimator backend instead of simulating (closed-form twin by default)")
+	flag.StringVar(&o.backend, "backend", "", "estimator backend for -estimate (default twin; see internal/estimate)")
 	flag.Parse()
 	// SIGINT and SIGTERM cancel the simulation gracefully: the engine
 	// stops at the next event-loop check and run reports the interruption.
@@ -91,6 +99,10 @@ func run(ctx context.Context, o options) error {
 	sc, err := repro.ParseScenario(o.scenario)
 	if err != nil {
 		return err
+	}
+
+	if o.estimate {
+		return runEstimate(ctx, s, a, sc, o)
 	}
 
 	schedulable := repro.RPatternSchedulable(s)
@@ -177,6 +189,55 @@ func run(ctx context.Context, o options) error {
 		fmt.Println()
 		fmt.Print(repro.TraceSummary(res))
 	}
+	return nil
+}
+
+// runEstimate answers the query through an estimator backend — the
+// analytical twin by default: closed-form schedulability and energy with
+// no discrete-event run. With -json it prints the same mkss-estimate/v1
+// document GET /v1/estimate serves.
+func runEstimate(ctx context.Context, s *repro.Set, a repro.Approach, sc repro.Scenario, o options) error {
+	est, err := estimate.New(o.backend, repro.NewRunner(repro.RunnerConfig{}))
+	if err != nil {
+		return err
+	}
+	ans, err := est.Estimate(ctx, estimate.Request{
+		Set: s, Approach: a, Scenario: sc, Seed: o.seed, HorizonMS: o.horizonMS,
+	})
+	if err != nil {
+		return err
+	}
+	if o.jsonOut {
+		doc := wire.EstimateDoc{
+			Schema:       wire.EstimateSchema,
+			Fingerprint:  analysis.Fingerprint(s),
+			Backend:      ans.Backend,
+			Policy:       ans.Policy,
+			Scenario:     sc.String(),
+			Seed:         o.seed,
+			HorizonUS:    int64(ans.Horizon),
+			Schedulable:  ans.Schedulable,
+			ActiveEnergy: ans.ActiveEnergy,
+			TotalEnergy:  ans.TotalEnergy,
+			MKPredicted:  ans.MKPredicted,
+			Exact:        ans.Exact,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Println(string(data))
+		return err
+	}
+	kind := "estimated (closed-form twin)"
+	if ans.Exact {
+		kind = "exact (simulated through the estimator)"
+	}
+	fmt.Printf("%s estimate over %v (%s), backend %s — %s:\n",
+		ans.Policy, ans.Horizon, sc, ans.Backend, kind)
+	fmt.Printf("  R-pattern schedulable: %v   (m,k) predicted: %v\n", ans.Schedulable, ans.MKPredicted)
+	fmt.Printf("  active energy: %.3f   total energy (incl. idle/sleep): %.3f\n",
+		ans.ActiveEnergy, ans.TotalEnergy)
 	return nil
 }
 

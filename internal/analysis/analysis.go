@@ -107,6 +107,9 @@ type Products struct {
 
 	schedOnce   sync.Once
 	schedulable bool
+
+	profOnce sync.Once
+	prof     rta.Profile
 }
 
 // New builds the Products for s without caching. The set is retained by
@@ -183,4 +186,20 @@ func (p *Products) Schedulable() bool {
 		p.schedulable = rta.SchedulableRPattern(p.set, p.opts.Pattern, p.opts.cap())
 	})
 	return p.schedulable
+}
+
+// MandatoryProfile returns the memoized recording walk over the
+// Theorem-1 mandatory-only schedule (rta.MandatoryProfile over the
+// (m,k)-hyperperiod, saturated at the options' cap): aggregate busy
+// time, idle-gap lengths, per-task job counts and worst responses. The
+// analytical twin (internal/estimate) composes its closed-form energy
+// model from these pieces; memoizing them here means an estimate-heavy
+// serving workload pays for the walk once per distinct set, exactly
+// like the other offline products. The returned Profile shares its
+// slices; do not mutate.
+func (p *Products) MandatoryProfile() rta.Profile {
+	p.profOnce.Do(func() {
+		p.prof = rta.MandatoryProfile(p.set, p.opts.Pattern, p.opts.cap())
+	})
+	return p.prof
 }

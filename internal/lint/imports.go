@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+const ruleImports = "imports"
+
+// Imports enforces the module's layering rules: schema packages stay pure.
+// internal/serve/wire defines the HTTP/JSON contract and is imported by
+// out-of-process clients (internal/serve/client, cmd/mkload, cmd/mkfleet);
+// if it ever reached into the simulation internals, every wire consumer
+// would link the engine. The rule pins the boundary the wire package's doc
+// comment promises: wire may import the public repro package, never
+// repro/internal/{sim,core,experiment}.
+var Imports = &Analyzer{
+	Name: ruleImports,
+	Doc:  "layering: schema/wire packages must not import simulation internals",
+	Run:  runImports,
+}
+
+// forbiddenDeps maps a module-relative package-path prefix (the importing
+// side) to the module-relative package prefixes it must not import. Paths
+// are matched as path prefixes, so a ban on internal/sim also covers any
+// future internal/sim/subpackage.
+var forbiddenDeps = []struct {
+	scope string   // module-relative dir of the constrained packages
+	bans  []string // module-relative package prefixes they must not import
+	why   string
+}{
+	{
+		scope: "internal/serve/wire",
+		bans:  []string{"internal/sim", "internal/core", "internal/experiment"},
+		why:   "wire is a pure schema package; translate engine types in internal/serve instead",
+	},
+}
+
+func runImports(p *Pass) {
+	module := p.Prog.Module
+	for _, dep := range forbiddenDeps {
+		if !underPath(p.Pkg.Rel, dep.scope) {
+			continue
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Ast.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				rel, ok := strings.CutPrefix(path, module+"/")
+				if !ok {
+					continue // stdlib or the module root package
+				}
+				for _, ban := range dep.bans {
+					if underPath(rel, ban) {
+						p.Reportf(ruleImports, imp.Pos(),
+							"%s must not import %s — %s", dep.scope, path, dep.why)
+					}
+				}
+			}
+		}
+	}
+}
+
+// underPath reports whether rel is the path prefix or equals it.
+func underPath(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}

@@ -118,6 +118,7 @@ func TestCtxFlowFixture(t *testing.T)     { runFixture(t, "ctxflow", []*Analyzer
 func TestHotPathFixture(t *testing.T)     { runFixture(t, "hotpath", []*Analyzer{HotPath}) }
 func TestErrDropFixture(t *testing.T)     { runFixture(t, "errdrop", []*Analyzer{ErrDrop}) }
 func TestPrintDebugFixture(t *testing.T)  { runFixture(t, "printdebug", []*Analyzer{PrintDebug}) }
+func TestImportsFixture(t *testing.T)     { runFixture(t, "imports", []*Analyzer{Imports}) }
 
 // TestAllowMetaFixture runs the full registry so the directive machinery
 // itself is exercised: unknown rule names, missing reasons, stale allows

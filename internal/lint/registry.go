@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		HotPath,
 		ErrDrop,
 		PrintDebug,
+		Imports,
 	}
 }
 

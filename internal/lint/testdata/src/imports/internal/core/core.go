@@ -1,0 +1,5 @@
+// Package core stands in for the scheduling core internals.
+package core
+
+// Pad is a core constant a schema package must not reach for.
+const Pad = 1

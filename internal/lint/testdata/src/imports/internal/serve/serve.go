@@ -1,0 +1,13 @@
+// Package serve sits outside the wire scope: it is the translation layer,
+// so importing the engine here is exactly what the rule wants.
+package serve
+
+import (
+	"fx/internal/serve/wire"
+	"fx/internal/sim"
+)
+
+// Translate builds the schema document from engine state — allowed.
+func Translate() wire.Doc {
+	return wire.Doc{HorizonMS: float64(sim.Horizon)}
+}

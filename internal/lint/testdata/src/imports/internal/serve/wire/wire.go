@@ -1,0 +1,21 @@
+// Package wire mirrors the repository's schema package: the layering rule
+// forbids it from importing simulation internals.
+package wire
+
+import (
+	"time"
+
+	"fx/internal/core" // want imports "must not import fx/internal/core"
+	"fx/internal/sim"  // want imports "must not import fx/internal/sim"
+	"fx/internal/timeu"
+)
+
+// Doc is the kind of pure data type that belongs here.
+type Doc struct {
+	HorizonMS float64 `json:"horizon_ms"`
+}
+
+// Bad reaches into the engine to build a document — the violation.
+func Bad() Doc {
+	return Doc{HorizonMS: timeu.Millis(int64(sim.Horizon+core.Pad) * int64(time.Millisecond/time.Microsecond))}
+}

@@ -1,0 +1,5 @@
+// Package sim stands in for the simulation engine internals.
+package sim
+
+// Horizon is an engine constant a schema package must not reach for.
+const Horizon = 2000

@@ -1,0 +1,5 @@
+// Package timeu stands in for a leaf utility package wire may use.
+package timeu
+
+// Millis converts microseconds to milliseconds.
+func Millis(us int64) float64 { return float64(us) / 1000 }

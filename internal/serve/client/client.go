@@ -6,7 +6,7 @@
 // It exists so every consumer of the API — the mkload load generator,
 // the mkfleet coordinator, scripts — shares one request/decode path and
 // one error vocabulary: a non-2xx response surfaces as *HTTPError
-// carrying the server's machine-readable error code (serve.ErrorDoc), a
+// carrying the server's machine-readable error code (wire.ErrorDoc), a
 // stream that ends without a terminal "done"/"error" line surfaces as
 // ErrTruncated, and everything else is a transport error.
 package client
@@ -25,7 +25,7 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/serve"
+	"repro/internal/serve/wire"
 )
 
 // Config tunes a Client; the zero value of every field picks a sensible
@@ -75,7 +75,7 @@ func New(cfg Config) *Client {
 func (c *Client) Addr() string { return c.base }
 
 // HTTPError is a non-2xx response, carrying the server's structured
-// error body (serve.ErrorDoc) when one was present.
+// error body (wire.ErrorDoc) when one was present.
 type HTTPError struct {
 	Status int
 	Code   string
@@ -117,12 +117,12 @@ type Info struct {
 }
 
 // Simulate runs POST /v1/simulate.
-func (c *Client) Simulate(ctx context.Context, req serve.SimulateRequest) (*serve.RunDoc, Info, error) {
+func (c *Client) Simulate(ctx context.Context, req wire.SimulateRequest) (*wire.RunDoc, Info, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, Info{}, err
 	}
-	var doc serve.RunDoc
+	var doc wire.RunDoc
 	info, err := c.doJSON(ctx, http.MethodPost, "/v1/simulate", body, &doc)
 	if err != nil {
 		return nil, info, err
@@ -130,13 +130,59 @@ func (c *Client) Simulate(ctx context.Context, req serve.SimulateRequest) (*serv
 	return &doc, info, nil
 }
 
+// Estimate runs POST /v1/estimate. With req.Refine false the server
+// answers from the analytical twin (no execution slot) and the decoded
+// EstimateDoc is returned; with req.Refine true the server falls through
+// to the real simulation and the RunDoc — byte-identical to what
+// /v1/simulate returns for the same parameters — is returned instead.
+// Exactly one of the two documents is non-nil on success.
+func (c *Client) Estimate(ctx context.Context, req wire.EstimateRequest) (*wire.EstimateDoc, *wire.RunDoc, Info, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, Info{}, err
+	}
+	var info Info
+	resp, err := c.doRetry(ctx, &info, http.MethodPost, "/v1/estimate", body)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	defer resp.Body.Close() //mklint:allow errdrop — read-only response body
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, nil, info, fmt.Errorf("read /v1/estimate response: %w", err)
+	}
+	// The schema tag in the body, not the request's Refine flag, decides
+	// the decode: the server is the authority on what it answered with.
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, nil, info, fmt.Errorf("decode /v1/estimate response: %w", err)
+	}
+	switch probe.Schema {
+	case wire.RunSchema:
+		var doc wire.RunDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, nil, info, fmt.Errorf("decode %s response: %w", probe.Schema, err)
+		}
+		return nil, &doc, info, nil
+	case wire.EstimateSchema:
+		var doc wire.EstimateDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, nil, info, fmt.Errorf("decode %s response: %w", probe.Schema, err)
+		}
+		return &doc, nil, info, nil
+	}
+	return nil, nil, info, fmt.Errorf("unexpected /v1/estimate schema %q", probe.Schema)
+}
+
 // Analyze runs GET /v1/analyze with the set spec as the request body.
-func (c *Client) Analyze(ctx context.Context, spec repro.SetSpec) (*serve.AnalyzeDoc, Info, error) {
+func (c *Client) Analyze(ctx context.Context, spec repro.SetSpec) (*wire.AnalyzeDoc, Info, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, Info{}, err
 	}
-	var doc serve.AnalyzeDoc
+	var doc wire.AnalyzeDoc
 	info, err := c.doJSON(ctx, http.MethodGet, "/v1/analyze", body, &doc)
 	if err != nil {
 		return nil, info, err
@@ -147,7 +193,7 @@ func (c *Client) Analyze(ctx context.Context, spec repro.SetSpec) (*serve.Analyz
 // Healthz runs GET /healthz. A draining server answers 503 with a valid
 // body; Healthz returns the decoded body in that case too, alongside
 // the *HTTPError, so callers can distinguish "draining" from "dead".
-func (c *Client) Healthz(ctx context.Context) (*serve.HealthDoc, error) {
+func (c *Client) Healthz(ctx context.Context) (*wire.HealthDoc, error) {
 	resp, err := c.send(ctx, http.MethodGet, "/healthz", nil, "")
 	if err != nil {
 		return nil, err
@@ -157,7 +203,7 @@ func (c *Client) Healthz(ctx context.Context) (*serve.HealthDoc, error) {
 	if err != nil {
 		return nil, err
 	}
-	var doc serve.HealthDoc
+	var doc wire.HealthDoc
 	if derr := json.Unmarshal(data, &doc); derr == nil && doc.Status != "" {
 		if resp.StatusCode == http.StatusOK {
 			return &doc, nil
@@ -202,7 +248,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 // server's message on "error", ErrTruncated if the stream ends without
 // either, or fn's error if fn aborts the stream. Retries only apply
 // before the first line is consumed, so fn never sees a line twice.
-func (c *Client) SweepStream(ctx context.Context, req serve.SweepRequest, fn func(raw []byte, line serve.SweepLine) error) (Info, error) {
+func (c *Client) SweepStream(ctx context.Context, req wire.SweepRequest, fn func(raw []byte, line wire.SweepLine) error) (Info, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return Info{}, err
@@ -218,7 +264,7 @@ func (c *Client) SweepStream(ctx context.Context, req serve.SweepRequest, fn fun
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		raw := sc.Bytes()
-		var line serve.SweepLine
+		var line wire.SweepLine
 		if err := json.Unmarshal(raw, &line); err != nil {
 			return info, fmt.Errorf("parse sweep line %q: %w", raw, err)
 		}
@@ -315,9 +361,9 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, con
 }
 
 // httpError decodes a non-2xx body into an *HTTPError, falling back to
-// the raw text when the body is not a serve.ErrorDoc.
+// the raw text when the body is not a wire.ErrorDoc.
 func httpError(status int, body []byte) *HTTPError {
-	var doc serve.ErrorDoc
+	var doc wire.ErrorDoc
 	if err := json.Unmarshal(body, &doc); err == nil && doc.Error != "" {
 		return &HTTPError{Status: status, Code: doc.Code, Msg: doc.Error}
 	}

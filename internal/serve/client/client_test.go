@@ -225,3 +225,77 @@ func TestAddrNormalization(t *testing.T) {
 		}
 	}
 }
+
+func TestEstimate(t *testing.T) {
+	cl := newServer(t, serve.Config{})
+	doc, run, info, err := cl.Estimate(context.Background(), serve.EstimateRequest{
+		Set: paperSpec(), Approach: "dp", HorizonMS: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run != nil {
+		t.Errorf("unrefined estimate returned a run doc: %+v", run)
+	}
+	if doc == nil || doc.Schema != serve.EstimateSchema || doc.Backend != "twin" || doc.Exact {
+		t.Errorf("doc = %+v", doc)
+	}
+	if info.Status != http.StatusOK || info.Attempts != 1 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+// refine=true comes back as the run document; the schema tag in the
+// body, not the request flag, decides which pointer is populated.
+func TestEstimateRefine(t *testing.T) {
+	cl := newServer(t, serve.Config{})
+	doc, run, _, err := cl.Estimate(context.Background(), serve.EstimateRequest{
+		Set: paperSpec(), Approach: "dp", HorizonMS: 100, Refine: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != nil {
+		t.Errorf("refined estimate returned an estimate doc: %+v", doc)
+	}
+	if run == nil || run.Schema != serve.RunSchema || !run.MKSatisfied {
+		t.Errorf("run = %+v", run)
+	}
+}
+
+func TestEstimateRetriesThenHTTPError(t *testing.T) {
+	var calls atomic.Int64
+	inner := serve.NewServer(serve.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if _, err := w.Write([]byte(`{"error":"starting up","code":"unavailable"}`)); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(Config{Addr: ts.URL, Retries: 3, Backoff: time.Millisecond})
+	doc, _, info, err := cl.Estimate(context.Background(), serve.EstimateRequest{
+		Set: paperSpec(), Approach: "st", HorizonMS: 100,
+	})
+	if err != nil || doc == nil {
+		t.Fatalf("doc %v err %v", doc, err)
+	}
+	if info.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s then success)", info.Attempts)
+	}
+
+	// A 400 must surface as a typed *HTTPError without retrying.
+	calls.Store(100)
+	_, _, _, err = cl.Estimate(context.Background(), serve.EstimateRequest{
+		Set: paperSpec(), Approach: "st", Backend: "oracle",
+	})
+	var herr *HTTPError
+	if !errors.As(err, &herr) || herr.Status != http.StatusBadRequest || herr.Code != "bad_request" {
+		t.Fatalf("err = %v, want bad_request *HTTPError", err)
+	}
+}

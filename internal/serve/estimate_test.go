@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// estimateURL builds the GET form of an estimate query.
+func estimateURL(base string, params map[string]string) string {
+	q := url.Values{}
+	spec, _ := json.Marshal(paperSpec())
+	q.Set("set", string(spec))
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	return base + "/v1/estimate?" + q.Encode()
+}
+
+func decodeEstimate(t *testing.T, resp *http.Response) EstimateDoc {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var doc EstimateDoc
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //mklint:allow errdrop — test helper, read-only body
+	return doc
+}
+
+// GET /v1/estimate answers from the analytical twin: exact verdicts,
+// sub-millisecond service time once the per-set products are memoized.
+func TestEstimateGET(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	get := func() EstimateDoc {
+		resp, err := http.Get(estimateURL(ts.URL, map[string]string{
+			"approach": "dp", "horizon_ms": "100", "seed": "7",
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decodeEstimate(t, resp)
+	}
+	doc := get()
+	if doc.Schema != EstimateSchema {
+		t.Errorf("schema %q, want %q", doc.Schema, EstimateSchema)
+	}
+	if doc.Backend != "twin" || doc.Exact {
+		t.Errorf("backend %q exact %v, want default twin/inexact", doc.Backend, doc.Exact)
+	}
+	if doc.Policy != "MKSS-DP" || doc.Scenario != "no-fault" || doc.Seed != 7 {
+		t.Errorf("echoed run identity wrong: %+v", doc)
+	}
+	if !doc.Schedulable || !doc.MKPredicted {
+		t.Error("paper set must be schedulable and (m,k)-satisfying")
+	}
+	if doc.Fingerprint == "" || doc.HorizonUS != 100_000 {
+		t.Errorf("fingerprint %q horizon %d", doc.Fingerprint, doc.HorizonUS)
+	}
+	if doc.ActiveEnergy != 75 {
+		t.Errorf("DP twin active energy %v, want the hand-derived 75", doc.ActiveEnergy)
+	}
+	// Warm answers must be sub-millisecond (the <1ms serving target): take
+	// the fastest of a few to keep scheduler jitter out of the assertion.
+	best := get().ElapsedUS
+	for i := 0; i < 3; i++ {
+		if e := get().ElapsedUS; e < best {
+			best = e
+		}
+	}
+	if best >= 1000 {
+		t.Errorf("warm estimate took %dµs, want <1000µs", best)
+	}
+}
+
+// POST with the same parameters answers identically (modulo timing).
+func TestEstimatePOSTMatchesGET(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(estimateURL(ts.URL, map[string]string{"approach": "st", "horizon_ms": "100"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeEstimate(t, resp)
+	want := decodeEstimate(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "st", HorizonMS: 100,
+	}))
+	got.ElapsedUS, want.ElapsedUS = 0, 0
+	if got != want {
+		t.Errorf("GET %+v != POST %+v", got, want)
+	}
+}
+
+// refine=true must return the byte-identical mkss-run/v1 document that
+// POST /v1/simulate produces for the same parameters.
+func TestEstimateRefineByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, scenario := range []string{"none", "permanent"} {
+		refined := readAll(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+			Set: paperSpec(), Approach: "selective", Scenario: scenario,
+			Seed: 42, HorizonMS: 100, Refine: true,
+		}))
+		direct := readAll(t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+			Set: paperSpec(), Approach: "selective", Scenario: scenario,
+			Seed: 42, HorizonMS: 100,
+		}))
+		if string(refined) != string(direct) {
+			t.Errorf("%s: refine=true diverged from /v1/simulate:\n%s\nvs\n%s",
+				scenario, refined, direct)
+		}
+		var doc RunDoc
+		if err := json.Unmarshal(refined, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Schema != RunSchema {
+			t.Errorf("refined schema %q, want %q", doc.Schema, RunSchema)
+		}
+	}
+}
+
+// The twin path must not consume an execution slot: with every slot held
+// and the queue full, estimates still answer while simulations 429.
+func TestEstimateNeedsNoExecutionSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: -1})
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Set: paperSpec(), Approach: "st", HorizonMS: 100})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated simulate status %d, want 429", resp.StatusCode)
+	}
+	readAll(t, resp)
+
+	get, err := http.Get(estimateURL(ts.URL, map[string]string{"approach": "st", "horizon_ms": "100"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := decodeEstimate(t, get); !doc.Schedulable {
+		t.Error("estimate under saturation returned wrong answer")
+	}
+
+	// An exact backend runs real simulation work, so it DOES wait for a
+	// slot — with none available and no queue, it is rejected.
+	resp = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "st", HorizonMS: 100, Backend: "sim", TimeoutMS: 50,
+	})
+	if resp.StatusCode == http.StatusOK {
+		t.Error("exact backend must pass through execution-slot admission")
+	}
+	readAll(t, resp)
+}
+
+// The sim backend (a slot being available) answers as an exact
+// EstimateDoc whose energies equal the refined run document's.
+func TestEstimateSimBackend(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := decodeEstimate(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "dp", HorizonMS: 100, Backend: "sim",
+	}))
+	if !doc.Exact || doc.Backend != "sim" {
+		t.Fatalf("backend %q exact %v, want sim/exact", doc.Backend, doc.Exact)
+	}
+	refined := readAll(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "dp", HorizonMS: 100, Refine: true,
+	}))
+	var run RunDoc
+	if err := json.Unmarshal(refined, &run); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ActiveEnergy != run.ActiveEnergy || doc.TotalEnergy != run.TotalEnergy {
+		t.Errorf("sim backend energies %v/%v, run doc %v/%v",
+			doc.ActiveEnergy, doc.TotalEnergy, run.ActiveEnergy, run.TotalEnergy)
+	}
+}
+
+func TestEstimateBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+	}{
+		{"unknown backend", func() (*http.Response, error) {
+			return post(ts.URL+"/v1/estimate", EstimateRequest{Set: paperSpec(), Approach: "st", Backend: "oracle"})
+		}},
+		{"bad set query", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/estimate?set=notjson")
+		}},
+		{"bad refine flag", func() (*http.Response, error) {
+			return http.Get(estimateURL(ts.URL, map[string]string{"refine": "perhaps"}))
+		}},
+		{"bad approach", func() (*http.Response, error) {
+			return post(ts.URL+"/v1/estimate", EstimateRequest{Set: paperSpec(), Approach: "edf"})
+		}},
+	}
+	for _, c := range cases {
+		resp, err := c.do()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc ErrorDoc
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+			continue
+		}
+		if err := json.Unmarshal(body, &doc); err != nil || doc.Code != CodeBadRequest || doc.Error == "" {
+			t.Errorf("%s: error doc %s (err %v)", c.name, body, err)
+		}
+	}
+}
+
+// Every route answers a wrong-method request with a structured 405 JSON
+// error, not a bare status or an empty body.
+func TestWrongMethodAllRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	routes := []struct {
+		path   string
+		method string // a method the route does not serve
+	}{
+		{"/v1/simulate", http.MethodGet},
+		{"/v1/sweep", http.MethodGet},
+		{"/v1/estimate", http.MethodDelete},
+		{"/v1/analyze", http.MethodDelete},
+		{"/healthz", http.MethodPost},
+		{"/metrics", http.MethodPost},
+	}
+	for _, rt := range routes {
+		req, err := http.NewRequest(rt.method, ts.URL+rt.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", rt.method, rt.path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type %q, want application/json", rt.method, rt.path, ct)
+		}
+		var doc ErrorDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Errorf("%s %s: body %q not an ErrorDoc: %v", rt.method, rt.path, body, err)
+			continue
+		}
+		if doc.Code != CodeMethodNotAllowed || doc.Error == "" {
+			t.Errorf("%s %s: error doc %+v", rt.method, rt.path, doc)
+		}
+	}
+}

@@ -13,149 +13,46 @@ import (
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/experiment"
+	"repro/internal/serve/wire"
 	"repro/internal/timeu"
 	"repro/internal/workload"
 )
 
-// Schema version tags of the documents served by the endpoints. Bump on
-// any backwards-incompatible change; additive changes keep the version.
+// The request/response documents of every endpoint live in the shared
+// internal/serve/wire package — the one schema both this server and
+// internal/serve/client compile against. The aliases below keep the
+// serve-qualified names (serve.RunDoc, serve.SweepLine, ...) that
+// internal/fleet, cmd/mkfleet and existing tests already use.
 const (
-	RunSchema     = "mkss-run/v1"
-	SweepSchema   = "mkss-sweep/v1"
-	AnalyzeSchema = "mkss-analyze/v1"
+	RunSchema      = wire.RunSchema
+	SweepSchema    = wire.SweepSchema
+	AnalyzeSchema  = wire.AnalyzeSchema
+	EstimateSchema = wire.EstimateSchema
 )
 
-// SimulateRequest is the POST /v1/simulate body. Set shares the CLI
-// decode path (repro.SetSpec), so malformed fields come back as the same
-// "tasks[2].wcet_ms: ..." errors mksim prints.
-type SimulateRequest struct {
-	Set           repro.SetSpec `json:"set"`
-	Approach      string        `json:"approach"`
-	Scenario      string        `json:"scenario,omitempty"`
-	Seed          uint64        `json:"seed,omitempty"`
-	HorizonMS     float64       `json:"horizon_ms,omitempty"`
-	TransientRate float64       `json:"transient_rate,omitempty"`
-	// TimeoutMS caps this request's simulation work; zero uses the server
-	// default. The deadline propagates as a context into the engine.
-	TimeoutMS float64 `json:"timeout_ms,omitempty"`
-}
+type (
+	SimulateRequest = wire.SimulateRequest
+	RunDoc          = wire.RunDoc
+	EstimateRequest = wire.EstimateRequest
+	EstimateDoc     = wire.EstimateDoc
+	SweepRequest    = wire.SweepRequest
+	SweepLine       = wire.SweepLine
+	AnalyzeTask     = wire.AnalyzeTask
+	AnalyzeDoc      = wire.AnalyzeDoc
+	ErrorDoc        = wire.ErrorDoc
+	HealthDoc       = wire.HealthDoc
+)
 
-// RunDoc is the /v1/simulate response (schema mkss-run/v1): the same
-// shape mksim -json prints, plus the canonical set fingerprint the
-// server coalesces on.
-type RunDoc struct {
-	Schema        string         `json:"schema"`
-	Fingerprint   string         `json:"fingerprint"`
-	Policy        string         `json:"policy"`
-	Scenario      string         `json:"scenario"`
-	Seed          uint64         `json:"seed"`
-	HorizonUS     int64          `json:"horizon_us"`
-	Schedulable   bool           `json:"r_pattern_schedulable"`
-	ActiveEnergy  float64        `json:"active_energy"`
-	TotalEnergy   float64        `json:"total_energy"`
-	MKSatisfied   bool           `json:"mk_satisfied"`
-	ViolationAt   []int          `json:"violation_at"`
-	Counters      repro.Counters `json:"counters"`
-	PermanentAtUS int64          `json:"permanent_fault_at_us,omitempty"`
-	PermanentProc int            `json:"permanent_fault_proc,omitempty"`
-}
-
-// SweepRequest is the POST /v1/sweep body. The response is a chunked
-// JSONL stream: one "start" line, one "row" line per utilization
-// interval as it completes, and a terminal "done" (or "error") line.
-type SweepRequest struct {
-	Scenario        string   `json:"scenario,omitempty"`
-	Seed            uint64   `json:"seed,omitempty"`
-	SetsPerInterval int      `json:"sets_per_interval,omitempty"`
-	MaxCandidates   int      `json:"max_candidates,omitempty"`
-	Lo              float64  `json:"lo,omitempty"`
-	Hi              float64  `json:"hi,omitempty"`
-	Approaches      []string `json:"approaches,omitempty"`
-	TimeoutMS       float64  `json:"timeout_ms,omitempty"`
-	// IntervalOffset shifts the per-interval seed derivation (see
-	// experiment.Config.IntervalOffset): a request for the single
-	// interval [lo, lo+0.1) with IntervalOffset i returns the row that
-	// interval i of a whole sweep with the same seed would produce, bit
-	// for bit. It is how the fleet coordinator shards one logical sweep
-	// into per-interval work units across workers.
-	IntervalOffset int `json:"interval_offset,omitempty"`
-}
-
-// SweepLine is one line of the /v1/sweep JSONL stream. Type is "start",
-// "row", "done" or "error"; the other fields are populated per type.
-type SweepLine struct {
-	Type   string `json:"type"`
-	Schema string `json:"schema,omitempty"` // start: SweepSchema
-	// start fields
-	Scenario  string `json:"scenario,omitempty"`
-	Seed      uint64 `json:"seed,omitempty"`
-	Intervals int    `json:"intervals,omitempty"`
-	// row fields
-	UtilLo     float64            `json:"util_lo,omitempty"`
-	UtilHi     float64            `json:"util_hi,omitempty"`
-	Sets       int                `json:"sets,omitempty"`
-	Candidates int                `json:"candidates,omitempty"`
-	NormMean   map[string]float64 `json:"norm_mean,omitempty"`
-	NormCI95   map[string]float64 `json:"norm_ci95,omitempty"`
-	Violations map[string]int     `json:"violations,omitempty"`
-	// done/error fields
-	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
-	Error     string  `json:"error,omitempty"`
-}
-
-// AnalyzeTask is one task's offline products in an AnalyzeDoc.
-type AnalyzeTask struct {
-	Name         string  `json:"name,omitempty"`
-	PeriodUS     int64   `json:"period_us"`
-	DeadlineUS   int64   `json:"deadline_us"`
-	WCETUS       int64   `json:"wcet_us"`
-	M            int     `json:"m"`
-	K            int     `json:"k"`
-	ResponseUS   int64   `json:"response_us"`
-	RTAConverged bool    `json:"rta_converged"`
-	PromotionUS  int64   `json:"promotion_us"`
-	ThetaUS      *int64  `json:"theta_us,omitempty"`
-	MKUtil       float64 `json:"mk_util"`
-}
-
-// AnalyzeDoc is the /v1/analyze response (schema mkss-analyze/v1): the
-// memoized offline products for a task set, served from the session's
-// analysis LRU — R-pattern schedulability, RTA response times and
-// promotion intervals Yi (Eq. 2), and the θ postponement intervals of
-// Defs. 2–5 when the analysis succeeds.
-type AnalyzeDoc struct {
-	Schema      string           `json:"schema"`
-	Fingerprint string           `json:"fingerprint"`
-	Utilization float64          `json:"utilization"`
-	MKUtil      float64          `json:"mk_utilization"`
-	Schedulable bool             `json:"r_pattern_schedulable"`
-	Tasks       []AnalyzeTask    `json:"tasks"`
-	ThetaError  string           `json:"theta_error,omitempty"`
-	Cache       repro.CacheStats `json:"cache"`
-}
-
-// ErrorDoc is the uniform JSON error body of every 4xx/5xx response:
-// a human-readable message plus a stable machine-readable code clients
-// can branch on without parsing prose (the fleet coordinator classifies
-// retryable vs permanent failures through it).
-type ErrorDoc struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
-
-// Error codes carried by ErrorDoc.Code. The code is a function of what
-// went wrong, not merely of the HTTP status: both admission rejections
-// are 429 but CodeQueueFull means "come back when a slot frees" while
-// CodeRateLimited means "slow down".
+// Error codes carried by ErrorDoc.Code (see wire for the vocabulary).
 const (
-	CodeBadRequest       = "bad_request"
-	CodeMethodNotAllowed = "method_not_allowed"
-	CodeRateLimited      = "rate_limited"
-	CodeQueueFull        = "queue_full"
-	CodeUnprocessable    = "unprocessable"
-	CodeUnavailable      = "unavailable"
-	CodeDeadline         = "deadline"
-	CodeInternal         = "internal"
+	CodeBadRequest       = wire.CodeBadRequest
+	CodeMethodNotAllowed = wire.CodeMethodNotAllowed
+	CodeRateLimited      = wire.CodeRateLimited
+	CodeQueueFull        = wire.CodeQueueFull
+	CodeUnprocessable    = wire.CodeUnprocessable
+	CodeUnavailable      = wire.CodeUnavailable
+	CodeDeadline         = wire.CodeDeadline
+	CodeInternal         = wire.CodeInternal
 )
 
 // codeForStatus maps an HTTP status onto the default error code; paths
@@ -310,6 +207,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, 0, err.Error())
 		return
 	}
+	s.serveSimulate(w, r, req, set, a, sc)
+}
+
+// serveSimulate is the post-parse core of /v1/simulate — coalesced,
+// admitted, executed and written. /v1/estimate's refine=true path calls
+// it with the translated request, which is what makes a refined estimate
+// byte-identical to the simulation it approximates: both producers run
+// this one function (and share one coalescing flight when concurrent).
+func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, req SimulateRequest, set *repro.Set, a repro.Approach, sc repro.Scenario) {
 	ctx, cancel := s.workCtx(r, req.TimeoutMS)
 	defer cancel()
 
@@ -621,15 +527,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, doc)
 }
 
-// HealthDoc is the /healthz body: liveness plus the load gauges a fleet
-// coordinator uses to pick workers.
-type HealthDoc struct {
-	Status   string `json:"status"`
-	InFlight int64  `json:"inflight"`
-	Queued   int64  `json:"queued"`
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, 0, "GET required")
+		return
+	}
 	doc := HealthDoc{Status: "ok", InFlight: s.inflight.Load() - 1, Queued: s.queued.Load()}
 	status := http.StatusOK
 	if s.draining.Load() {

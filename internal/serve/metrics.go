@@ -16,6 +16,10 @@ import (
 // simulation the server executed. Lines are emitted in sorted order so
 // the output is diff-stable.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, 0, "GET required")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var b strings.Builder
 	b.WriteString("# mkservd server gauges\n")

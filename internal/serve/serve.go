@@ -154,12 +154,16 @@ func NewServer(cfg Config) *Server {
 //
 //	POST /v1/simulate   one run, coalesced and cached
 //	POST /v1/sweep      streaming utilization sweep (chunked JSONL)
+//	GET  /v1/estimate   analytical-twin answer, no execution slot
+//	                    (also POST; refine=true falls through to the
+//	                    /v1/simulate path, byte-identical)
 //	GET  /v1/analyze    offline products for a task set
 //	GET  /healthz       liveness + drain state
 //	GET  /metrics       counters and gauges, text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/simulate", s.observe(s.handleSimulate))
+	mux.Handle("/v1/estimate", s.observe(s.handleEstimate))
 	mux.Handle("/v1/sweep", s.observe(s.handleSweep))
 	mux.Handle("/v1/analyze", s.observe(s.handleAnalyze))
 	mux.Handle("/healthz", s.observe(s.handleHealthz))

@@ -15,10 +15,12 @@
 # whose mkss-bench/v1 document feeds the cross-PR trajectory log via
 # scripts/trajectory.sh), the serve smoke
 # (mkservd on an ephemeral port driven by an mkload burst, with a
-# graceful-drain shutdown check), and the fleet smoke (a distributed
-# mkfleet sweep over two workers, one killed mid-run, checked
-# byte-identical against the in-process reference). mklint runs even in
-# -fast mode: the lint pass is cheap.
+# graceful-drain shutdown check), the estimate smoke (the analytical
+# twin's GET /v1/estimate fast path under load, p99 asserted
+# sub-25ms, and refine=true checked byte-identical to /v1/simulate), and
+# the fleet smoke (a distributed mkfleet sweep over two workers, one
+# killed mid-run, checked byte-identical against the in-process
+# reference). mklint runs even in -fast mode: the lint pass is cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -97,6 +99,37 @@ if [ "$fast" = 0 ]; then
   wait "$servd"   # graceful drain must exit 0
   grep -q '0 in-flight aborted' "$tmp/mkservd.log"
   echo "BENCH_serve.json written to $tmp (CI uploads this as an artifact)"
+
+  step "estimate smoke (twin fast path + refine fallthrough)"
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/est.addr" -q > "$tmp/est.log" 2>&1 &
+  estd=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/est.addr" ] && break; sleep 0.1; done
+  eaddr=$(cat "$tmp/est.addr")
+  pset='{"tasks":[{"period_ms":5,"deadline_ms":4,"wcet_ms":3,"m":2,"k":4},{"period_ms":10,"deadline_ms":10,"wcet_ms":3,"m":1,"k":2}]}'
+  # Closed-form twin answer: no simulation, no execution slot.
+  curl -sf --get "http://$eaddr/v1/estimate" --data-urlencode "set=$pset" \
+    --data-urlencode approach=dp --data-urlencode horizon_ms=20 \
+    | grep -q '"backend":"twin"'
+  # refine=true must fall through to the /v1/simulate path byte-identically.
+  curl -sf --get "http://$eaddr/v1/estimate" --data-urlencode "set=$pset" \
+    --data-urlencode approach=selective --data-urlencode horizon_ms=20 \
+    --data-urlencode refine=true > "$tmp/refined.json"
+  curl -sf -X POST "http://$eaddr/v1/simulate" -H 'Content-Type: application/json' \
+    -d "{\"set\":$pset,\"approach\":\"selective\",\"horizon_ms\":20}" > "$tmp/simulated.json"
+  cmp "$tmp/refined.json" "$tmp/simulated.json"
+  grep -q '"active_energy":12' "$tmp/refined.json"
+  # A pure-estimate burst: the top-level latency summary is then the
+  # estimate endpoint's, so the closed-form p99 is assertable directly.
+  "$tmp/mkload" -addr "$eaddr" -duration 2s -c 8 \
+    -mix estimate=1 -out "$tmp/BENCH_estimate.json" -q
+  p99=$(grep -m1 '"p99_ms"' "$tmp/BENCH_estimate.json" | sed -E 's/.*: *([0-9.]+).*/\1/')
+  awk -v p="$p99" 'BEGIN { exit !(p < 25) }' || {
+    echo "estimate p99 ${p99}ms >= 25ms — the closed-form fast path regressed" >&2
+    exit 1
+  }
+  kill -TERM "$estd"
+  wait "$estd"
+  echo "BENCH_estimate.json written to $tmp (estimate p99 ${p99}ms)"
 
   step "fleet smoke (mkfleet over 2 workers, one killed mid-run)"
   go build -o "$tmp/mkfleet" ./cmd/mkfleet
