@@ -11,6 +11,22 @@
 //	mklint -rules determinism ./...   # run a subset of rules
 //	mklint -list                      # print the rule catalogue
 //	mklint -scope floateq=internal/legacy/ ./...   # extra per-path scoping
+//	mklint -scope internal/sim,internal/rta ./...  # restrict to packages
+//	mklint -baseline results/lint_baseline.json ./...   # ratcheted run
+//	mklint -baseline results/lint_baseline.json -update-baseline ./...
+//
+// -scope has two forms: "rule=prefix[,prefix...]" disables one rule under
+// the given paths (repeatable, merged over the default scope table), and
+// a bare comma-separated package list ("internal/sim,internal/rta")
+// restricts the whole run to those packages and their subtrees, exactly
+// like passing each as a ./dir/... pattern.
+//
+// With -baseline, findings listed in the baseline file are accepted and
+// everything else fails: new findings must be fixed (or added to the
+// baseline with a written justification via -update-baseline plus a
+// hand-edited "why"), and baselined findings that stop firing make their
+// entries stale, which also fails until the baseline is refreshed — the
+// ratchet only moves toward zero.
 //
 // Suppress an intentional violation with a trailing or preceding comment:
 //
@@ -18,8 +34,11 @@
 //
 // The rule name must exist and the reason must be non-empty; allows that
 // no longer suppress anything are themselves reported as stale, so
-// suppressions cannot rot silently. Exit status: 0 clean, 1 diagnostics
-// found, 2 usage or load error.
+// suppressions cannot rot silently.
+//
+// Exit status: 0 clean, 1 findings (including stale baseline entries),
+// 2 usage, load or internal error. CI can therefore distinguish "the
+// code has violations" from "the linter itself failed to run".
 package main
 
 import (
@@ -33,93 +52,181 @@ import (
 	"repro/internal/lint"
 )
 
+// exit codes of the mklint contract.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitInternal = 2
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		jsonPath = flag.String("json", "", "write diagnostics as a JSON document to this path ('-' for stdout)")
-		rules    = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list     = flag.Bool("list", false, "print the rule catalogue and exit")
-		scopes   scopeFlag
+		jsonPath     = flag.String("json", "", "write diagnostics as a JSON document to this path ('-' for stdout)")
+		rules        = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list         = flag.Bool("list", false, "print the rule catalogue and exit")
+		baselinePath = flag.String("baseline", "", "accepted-findings baseline file (schema "+lint.BaselineSchema+"); new or stale findings fail")
+		updateBase   = flag.Bool("update-baseline", false, "rewrite -baseline from the current findings, carrying over existing justifications")
+		scopes       scopeFlag
 	)
-	flag.Var(&scopes, "scope", "rule=prefix[,prefix...] — additional paths where the rule is disabled (repeatable)")
+	flag.Var(&scopes, "scope", "rule=prefix[,prefix...] to disable a rule under paths, or a bare package list to restrict the run (repeatable)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
+	}
+	if *updateBase && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "mklint: -update-baseline requires -baseline")
+		return exitInternal
 	}
 
-	opts, err := buildOptions(*rules, scopes)
+	opts, pkgScopes, err := buildOptions(*rules, scopes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
-		os.Exit(2)
+		return exitInternal
 	}
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
-		os.Exit(2)
+		return exitInternal
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	opts.Match, err = matcher(root, patterns)
+	opts.Match, err = matcher(root, patterns, pkgScopes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
-		os.Exit(2)
+		return exitInternal
 	}
 
 	prog, err := lint.Load(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
-		os.Exit(2)
+		return exitInternal
 	}
 	diags := lint.Run(prog, opts)
-	for _, d := range diags {
-		fmt.Println(d)
-	}
+
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
-			os.Exit(2)
+			return exitInternal
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mklint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+
+	if *baselinePath == "" {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "mklint: %d diagnostic(s)\n", len(diags))
+			return exitFindings
+		}
+		return exitClean
 	}
+	return applyBaseline(*baselinePath, *updateBase, diags)
 }
 
-// buildOptions resolves the -rules subset and merges -scope additions
-// over the default scope table.
-func buildOptions(rules string, scopes scopeFlag) (lint.Options, error) {
+// applyBaseline runs the ratchet (or refreshes the file with
+// -update-baseline) and returns the process exit code.
+func applyBaseline(path string, update bool, diags []lint.Diagnostic) int {
+	if update {
+		prev, err := lint.LoadBaseline(path)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+			return exitInternal
+		}
+		b := lint.RefreshBaseline(diags, prev)
+		if err := lint.WriteBaseline(path, b); err != nil {
+			fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+			return exitInternal
+		}
+		fmt.Printf("mklint: wrote %s with %d entr%s\n", path, len(b.Entries), plural(len(b.Entries), "y", "ies"))
+		if err := b.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		}
+		return exitClean
+	}
+	base, err := lint.LoadBaseline(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		return exitInternal
+	}
+	if err := base.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mklint: %v\n", err)
+		return exitInternal
+	}
+	fresh, stale := base.Apply(diags)
+	for _, d := range fresh {
+		fmt.Println(d)
+	}
+	for _, e := range stale {
+		fmt.Printf("%s: [%s] baseline entry no longer fires (%q) — remove it with -update-baseline\n", e.File, e.Rule, e.Message)
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "mklint: %d new finding(s), %d stale baseline entr%s\n",
+			len(fresh), len(stale), plural(len(stale), "y", "ies"))
+		return exitFindings
+	}
+	return exitClean
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// buildOptions resolves the -rules subset and splits -scope values into
+// rule=prefix disables (merged over the default scope table) and bare
+// package-list restrictions.
+func buildOptions(rules string, scopes scopeFlag) (lint.Options, []string, error) {
 	opts := lint.Options{}
 	if rules != "" {
 		for _, name := range strings.Split(rules, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
-				return opts, fmt.Errorf("unknown rule %q (try -list)", strings.TrimSpace(name))
+				return opts, nil, fmt.Errorf("unknown rule %q (try -list)", strings.TrimSpace(name))
 			}
 			opts.Analyzers = append(opts.Analyzers, a)
 		}
 	}
-	if len(scopes) > 0 {
-		merged := lint.DefaultScopes()
-		for _, s := range scopes {
-			rule, prefixes, ok := strings.Cut(s, "=")
-			if !ok || lint.ByName(rule) == nil {
-				return opts, fmt.Errorf("bad -scope %q: want rule=prefix[,prefix...] with a known rule", s)
-			}
-			for _, p := range strings.Split(prefixes, ",") {
-				if p = strings.TrimSpace(p); p != "" {
-					merged[rule] = append(merged[rule], p)
+	var pkgScopes []string
+	var merged map[string][]string
+	for _, s := range scopes {
+		rule, prefixes, isRuleForm := strings.Cut(s, "=")
+		if !isRuleForm {
+			// Bare form: a comma-separated package list restricting the run.
+			for _, p := range strings.Split(s, ",") {
+				if p = strings.TrimSpace(strings.TrimPrefix(p, "./")); p != "" {
+					pkgScopes = append(pkgScopes, filepath.ToSlash(strings.TrimSuffix(p, "/")))
 				}
 			}
+			continue
 		}
+		if lint.ByName(rule) == nil {
+			return opts, nil, fmt.Errorf("bad -scope %q: unknown rule %q (try -list)", s, rule)
+		}
+		if merged == nil {
+			merged = lint.DefaultScopes()
+		}
+		for _, p := range strings.Split(prefixes, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				merged[rule] = append(merged[rule], p)
+			}
+		}
+	}
+	if merged != nil {
 		opts.Scopes = merged
 	}
-	return opts, nil
+	return opts, pkgScopes, nil
 }
 
 type scopeFlag []string
@@ -147,7 +254,10 @@ func moduleRoot() (string, error) {
 
 // matcher converts go-style package patterns ("./...", "./internal/sim",
 // "./internal/sim/...") into a package filter over module-relative paths.
-func matcher(root string, patterns []string) (func(*lint.Package) bool, error) {
+// pkgScopes (from bare -scope lists) further restricts the match: a
+// package must satisfy both a pattern and, when any scopes are given,
+// one of the scope subtrees.
+func matcher(root string, patterns, pkgScopes []string) (func(*lint.Package) bool, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return nil, err
@@ -181,13 +291,25 @@ func matcher(root string, patterns []string) (func(*lint.Package) bool, error) {
 		p.rel = filepath.ToSlash(rel)
 		pats = append(pats, p)
 	}
+	inTree := func(rel, prefix string) bool {
+		return prefix == "" || rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
 	return func(pkg *lint.Package) bool {
+		matched := false
 		for _, p := range pats {
-			if p.tree {
-				if p.rel == "" || pkg.Rel == p.rel || strings.HasPrefix(pkg.Rel, p.rel+"/") {
-					return true
-				}
-			} else if pkg.Rel == p.rel {
+			if p.tree && inTree(pkg.Rel, p.rel) || !p.tree && pkg.Rel == p.rel {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+		if len(pkgScopes) == 0 {
+			return true
+		}
+		for _, s := range pkgScopes {
+			if inTree(pkg.Rel, s) {
 				return true
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pattern"
 	"repro/internal/postpone"
@@ -102,8 +103,9 @@ type Products struct {
 	post     *postpone.Analysis
 	postErr  error
 
-	mandOnce sync.Once
-	mand     [][]bool
+	mandOnce  sync.Once
+	mandReady atomic.Bool
+	mand      [][]bool
 
 	schedOnce   sync.Once
 	schedulable bool
@@ -163,19 +165,33 @@ func (p *Products) Postponement() (*postpone.Analysis, error) {
 // mandatory under the static pattern, via a memoized k-periodic table
 // instead of re-evaluating pattern.Mandatory per release.
 func (p *Products) Mandatory(taskID, index int) bool {
-	p.mandOnce.Do(func() {
-		p.mand = make([][]bool, p.set.N())
+	// The engine asks this per release, so the fast path must not
+	// allocate: a sync.Once closure here would be rebuilt on every call.
+	// The atomic flag is published after the table is complete, so a true
+	// load guarantees the table below is visible.
+	if !p.mandReady.Load() {
+		p.buildMandatory()
+	}
+	row := p.mand[taskID]
+	return row[(index-1)%len(row)]
+}
+
+// buildMandatory is Mandatory's cold path, entered at most once per
+// caller before the ready flag flips.
+func (p *Products) buildMandatory() {
+	p.mandOnce.Do(func() { //mklint:allow hotprop — once-per-Products cold path; Mandatory's per-release fast path is the atomic load above
+		mand := make([][]bool, p.set.N())
 		for i := range p.set.Tasks {
 			t := &p.set.Tasks[i]
 			row := make([]bool, t.K)
 			for j := 1; j <= t.K; j++ {
 				row[j-1] = pattern.Mandatory(p.opts.Pattern, j, t.M, t.K)
 			}
-			p.mand[i] = row
+			mand[i] = row
 		}
+		p.mand = mand
+		p.mandReady.Store(true)
 	})
-	row := p.mand[taskID]
-	return row[(index-1)%len(row)]
 }
 
 // Schedulable reports the memoized Theorem-1 verdict: whether the

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BaselineSchema identifies the on-disk baseline format.
+const BaselineSchema = "mkss-lint/v1"
+
+// BaselineEntry is one accepted finding. Entries are keyed by
+// (rule, file, message) — deliberately line-independent, so unrelated
+// edits that shift a finding down the file do not invalidate the
+// baseline. Why is the human justification for accepting the finding;
+// the ratchet refuses empty or TODO-prefixed justifications, so an
+// accepted finding always carries a written reason.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Why     string `json:"why"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Message }
+
+func diagKey(d Diagnostic) string { return d.Rule + "\x00" + d.File + "\x00" + d.Message }
+
+// Baseline is the accepted-findings ratchet: findings present here pass,
+// findings absent here fail, and entries that no longer match any
+// finding are stale and force a refresh — the baseline only ever
+// shrinks unless a human writes down why it must grow.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and schema-checks a baseline file. Justification
+// quality is checked separately by Validate so that refresh flows can
+// read a work-in-progress file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Validate enforces that every entry carries a real justification: a
+// non-empty why that is not a TODO placeholder.
+func (b *Baseline) Validate() error {
+	var bad []string
+	for _, e := range b.Entries {
+		why := strings.TrimSpace(e.Why)
+		if why == "" || strings.HasPrefix(strings.ToUpper(why), "TODO") {
+			bad = append(bad, fmt.Sprintf("%s [%s] %q", e.File, e.Rule, e.Message))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("baseline entries without a written justification (fill in \"why\" or fix the finding):\n  %s",
+			strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// Apply splits current findings against the baseline: fresh findings
+// (not baselined — these fail the ratchet) and stale entries (baselined
+// but no longer firing — the finding was fixed, so the entry must be
+// removed via a refresh).
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	accepted := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		accepted[e.key()] = true
+	}
+	seen := make(map[string]bool, len(diags))
+	for _, d := range diags {
+		k := diagKey(d)
+		seen[k] = true
+		if !accepted[k] {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, e := range b.Entries {
+		if !seen[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// RefreshBaseline builds a baseline from the current findings, carrying
+// justifications over from prev (nil for none) where the entry survives.
+// New entries get a TODO placeholder that Validate rejects, so a refresh
+// cannot silently launder a new finding into the accepted set.
+func RefreshBaseline(diags []Diagnostic, prev *Baseline) *Baseline {
+	whys := make(map[string]string)
+	if prev != nil {
+		for _, e := range prev.Entries {
+			whys[e.key()] = e.Why
+		}
+	}
+	b := &Baseline{Schema: BaselineSchema, Entries: []BaselineEntry{}}
+	dedup := make(map[string]bool)
+	for _, d := range diags {
+		k := diagKey(d)
+		if dedup[k] {
+			continue
+		}
+		dedup[k] = true
+		why, ok := whys[k]
+		if !ok {
+			why = "TODO: justify accepting this finding, or fix it"
+		}
+		b.Entries = append(b.Entries, BaselineEntry{Rule: d.Rule, File: d.File, Message: d.Message, Why: why})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+	return b
+}
+
+// WriteBaseline writes b as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,213 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks one synthetic package per (name, src)
+// pair, resolving cross-package imports among the given sources.
+func typecheck(t *testing.T, srcs map[string]string, order []string) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	built := map[string]*types.Package{}
+	var pkgs []*Package
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := built[path]; ok {
+			return p, nil
+		}
+		t.Fatalf("unexpected import %q", path)
+		return nil, nil
+	})
+	for _, path := range order {
+		f, err := parser.ParseFile(fset, path+".go", srcs[path], parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		info := &types.Info{
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		built[path] = tp
+		pkgs = append(pkgs, &Package{Types: tp, Info: info, Files: []*ast.File{f}})
+	}
+	return pkgs
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// find returns the node whose compact name matches, failing the test on
+// a miss.
+func find(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q in graph", name)
+	return nil
+}
+
+// calls reports whether the graph has an edge from → to.
+func calls(from, to *Node) bool {
+	for _, e := range from.Out {
+		if e.Callee == to {
+			return true
+		}
+	}
+	return false
+}
+
+const srcLeaf = `package leaf
+
+func Helper() int { return 1 }
+`
+
+const srcMain = `package mainpkg
+
+import "leaf"
+
+type Stepper interface{ Step() int }
+
+type Wheel struct{ n int }
+
+func (w *Wheel) Step() int { return w.n + leaf.Helper() }
+
+type Idle struct{}
+
+func (Idle) Step() int { return 0 }
+
+// Decoy has the same method name but does not implement Stepper.
+type Decoy struct{}
+
+func (Decoy) Step(extra int) int { return extra }
+
+func Drive(s Stepper) int { return s.Step() }
+
+func Root() int {
+	w := &Wheel{}
+	go spin(w)
+	return Drive(w) + direct()
+}
+
+func direct() int { return leaf.Helper() }
+
+func spin(s Stepper) { s.Step() }
+
+func unreached() int { return leaf.Helper() }
+`
+
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	pkgs := typecheck(t, map[string]string{"leaf": srcLeaf, "mainpkg": srcMain}, []string{"leaf", "mainpkg"})
+	return Build(pkgs)
+}
+
+func TestStaticAndCrossPackageEdges(t *testing.T) {
+	g := buildTestGraph(t)
+	root := find(t, g, "mainpkg.Root")
+	drive := find(t, g, "mainpkg.Drive")
+	direct := find(t, g, "mainpkg.direct")
+	helper := find(t, g, "leaf.Helper")
+	if !calls(root, drive) {
+		t.Error("Root should call Drive (static)")
+	}
+	if !calls(root, direct) {
+		t.Error("Root should call direct (static)")
+	}
+	if !calls(direct, helper) {
+		t.Error("direct should call leaf.Helper (cross-package static)")
+	}
+}
+
+// TestInterfaceResolution pins the CHA semantics: a call through an
+// interface method resolves to every in-module implementer — and only
+// to implementers (same-name methods with different signatures are not
+// candidates).
+func TestInterfaceResolution(t *testing.T) {
+	g := buildTestGraph(t)
+	drive := find(t, g, "mainpkg.Drive")
+	wheelStep := find(t, g, "mainpkg.Wheel.Step")
+	idleStep := find(t, g, "mainpkg.Idle.Step")
+	decoyStep := find(t, g, "mainpkg.Decoy.Step")
+	if !calls(drive, wheelStep) {
+		t.Error("Drive's s.Step() should resolve to (*Wheel).Step — pointer-receiver implementer")
+	}
+	if !calls(drive, idleStep) {
+		t.Error("Drive's s.Step() should resolve to Idle.Step — value-receiver implementer")
+	}
+	if calls(drive, decoyStep) {
+		t.Error("Drive's s.Step() must not resolve to Decoy.Step — wrong signature, not an implementer")
+	}
+	var kinds []EdgeKind
+	for _, e := range drive.Out {
+		kinds = append(kinds, e.Kind)
+	}
+	for _, k := range kinds {
+		if k != KindInterface {
+			t.Errorf("Drive edge kind = %v, want KindInterface", k)
+		}
+	}
+}
+
+func TestGoStatementEdges(t *testing.T) {
+	g := buildTestGraph(t)
+	root := find(t, g, "mainpkg.Root")
+	spin := find(t, g, "mainpkg.spin")
+	var goEdge *Edge
+	for _, e := range root.Out {
+		if e.Callee == spin {
+			goEdge = e
+		}
+	}
+	if goEdge == nil {
+		t.Fatal("Root should have an edge to spin (go statement)")
+	}
+	if !goEdge.Go {
+		t.Error("Root → spin edge should be marked as a go-statement spawn")
+	}
+}
+
+func TestReachAndChain(t *testing.T) {
+	g := buildTestGraph(t)
+	root := find(t, g, "mainpkg.Root")
+	helper := find(t, g, "leaf.Helper")
+	unreached := find(t, g, "mainpkg.unreached")
+	res := g.Reach([]*Node{root})
+	if !res.Reached(helper) {
+		t.Error("leaf.Helper should be reachable from Root")
+	}
+	if res.Reached(unreached) {
+		t.Error("unreached must not be reachable from Root")
+	}
+	// The shortest chain to Helper goes through direct (length 3);
+	// interface paths are longer.
+	chain := res.Chain(helper, 8)
+	want := []string{"mainpkg.Root", "mainpkg.direct", "leaf.Helper"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+	// Truncation keeps the root and the target with an ellipsis between.
+	short := res.Chain(helper, 3)
+	if len(short) != 3 || short[0] != "mainpkg.Root" || short[2] != "leaf.Helper" {
+		t.Fatalf("truncated chain = %v, want [mainpkg.Root … leaf.Helper]", short)
+	}
+}

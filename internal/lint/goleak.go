@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const ruleGoLeak = "goleak"
+
+// Goleak requires every go statement to carry a visible termination
+// path. A goroutine with no way to be told to stop outlives its request,
+// pins its captures, and — in a server that spawns one per sweep — leaks
+// under sustained load. Accepted evidence, scanned over the spawned
+// body (or the named callee's body, through the call graph):
+//
+//   - a context.Context flowing into the goroutine (ctx.Done selects,
+//     ctx-aware calls),
+//   - a (*sync.WaitGroup).Done, tying the goroutine to a waiter,
+//   - a send, receive, close, select case or range on a channel owned by
+//     the spawning function (declared among its locals, parameters or
+//     receiver), which gives the spawner a handle on the lifetime.
+//
+// Ownership is judged against the outermost enclosing function
+// declaration, not the nearest closure: an event loop that spawns
+// workers from a helper closure still owns the result channel they
+// drain into.
+var Goleak = &Analyzer{
+	Name: ruleGoLeak,
+	Doc:  "every go statement needs a termination path: a context, a WaitGroup.Done, or a spawner-owned channel operation",
+	Run:  runGoleak,
+}
+
+func runGoleak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.checkGoStmt(g, fd)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt inspects one go statement spawned (possibly via nested
+// closures) from decl.
+func (p *Pass) checkGoStmt(g *ast.GoStmt, decl *ast.FuncDecl) {
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if p.termEvidence(fl.Body, decl) {
+			return
+		}
+		p.Reportf(ruleGoLeak, g.Pos(),
+			"goroutine has no visible termination path: no context, no WaitGroup.Done, and no operation on a channel owned by %s — thread a ctx or a stop/result channel through it", declName(decl))
+		return
+	}
+	// Named call: go worker(ctx, out) or go s.loop().
+	for _, arg := range g.Call.Args {
+		if p.lifetimeTyped(arg) {
+			return // a ctx, channel or WaitGroup crosses the boundary
+		}
+	}
+	fn := p.Callee(g.Call)
+	if fn == nil {
+		p.Reportf(ruleGoLeak, g.Pos(),
+			"goroutine spawns a function value whose body is not visible and no context, channel or WaitGroup crosses the call — termination cannot be audited")
+		return
+	}
+	if node := p.Prog.CallGraph().Node(fn); node != nil && node.Decl != nil && node.Decl.Body != nil {
+		if p.calleeEvidence(node.Decl.Body, p.Prog.LintPackage(node)) {
+			return
+		}
+	}
+	p.Reportf(ruleGoLeak, g.Pos(),
+		"goroutine %s has no visible termination path: no context, channel or WaitGroup argument, and its body shows no Done call, context use or channel operation", fn.Name())
+}
+
+// lifetimeTyped reports whether an expression's type can carry a
+// goroutine lifetime across a call: a context, any channel, or a
+// *sync.WaitGroup.
+func (p *Pass) lifetimeTyped(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if isContextType(t) || isWaitGroupPtr(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// termEvidence scans a spawned closure body for termination evidence,
+// with channel ownership judged against decl (the outermost enclosing
+// function declaration).
+func (p *Pass) termEvidence(body ast.Node, decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if t := p.TypeOf(n); t != nil && isContextType(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if p.isWaitGroupDone(n) {
+				found = true
+			}
+			if p.IsBuiltin(n, "close") && len(n.Args) == 1 && p.ownedChan(n.Args[0], decl) {
+				found = true
+			}
+		case *ast.SendStmt:
+			if p.ownedChan(n.Chan, decl) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && p.ownedChan(n.X, decl) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if p.ownedChan(n.X, decl) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeEvidence is the looser cross-function form: inside a named
+// callee's body, ownership cannot be attributed, so any channel
+// operation (alongside context use and WaitGroup.Done) counts.
+func (p *Pass) calleeEvidence(body ast.Node, pkg *Package) bool {
+	if pkg == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if t := pkg.Info.TypeOf(n); t != nil && isContextType(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[id.Sel].(*types.Func); ok && isSyncMethod(fn, "WaitGroup", "Done") {
+					found = true
+				}
+			}
+		case *ast.SendStmt, *ast.RangeStmt:
+			if isChanOp(pkg, n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanOp(pkg *Package, n ast.Node) bool {
+	var x ast.Expr
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		x = n.Chan
+	case *ast.RangeStmt:
+		x = n.X
+	default:
+		return false
+	}
+	t := pkg.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// ownedChan reports whether e is a channel whose root identifier is
+// declared within decl — a local, parameter or receiver of the spawning
+// function, giving the spawner a handle on the goroutine's lifetime.
+func (p *Pass) ownedChan(e ast.Expr, decl *ast.FuncDecl) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[root]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= decl.Pos() && obj.Pos() < decl.End()
+}
+
+// rootIdent peels selectors, indexes and parens down to the base
+// identifier of an expression (s.results[i] → s).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *Pass) isWaitGroupDone(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && isSyncMethod(fn, "WaitGroup", "Done")
+}
+
+func isSyncMethod(fn *types.Func, recv, name string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == name && recvTypeName(fn) == recv
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroupPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func declName(decl *ast.FuncDecl) string {
+	return decl.Name.Name
+}

@@ -16,6 +16,10 @@ const ruleHotPath = "hotpath"
 // appends that box concrete values into interface slices, and escaping
 // closures that capture locals. Formatting inside a panic call is exempt:
 // a panic path never executes in a healthy run.
+//
+// The tag is enforced transitively by the companion hotprop rule (see
+// hotprop.go), which walks the call graph from the tagged roots so an
+// untagged helper cannot bypass the checks.
 var HotPath = &Analyzer{
 	Name: ruleHotPath,
 	Doc:  "no fmt, reflect, interface-boxing appends or escaping capturing closures in //mklint:hotpath functions",
@@ -29,12 +33,34 @@ func runHotPath(p *Pass) {
 			if !ok || !p.Hot(fd) || fd.Body == nil {
 				continue
 			}
-			p.checkHotFunc(fd)
+			hc := &hotCheck{p: p, rule: ruleHotPath}
+			hc.checkFunc(fd)
 		}
 	}
 }
 
-func (p *Pass) checkHotFunc(decl *ast.FuncDecl) {
+// hotCheck runs the hot-path construct checks over one function body.
+// The hotpath rule uses it on directly tagged functions; hotprop reuses
+// it on functions the call graph proves reachable from a tagged root,
+// with the reaching chain woven into every diagnostic.
+type hotCheck struct {
+	p    *Pass
+	rule string
+	// chain, when non-empty, is the call chain that put the function on
+	// the hot path ("engine.step → wheel.scan → helper"); it is appended
+	// to diagnostics so the propagation is auditable at a glance.
+	chain string
+}
+
+// context renders the chain suffix of a diagnostic ("" for hotpath).
+func (hc *hotCheck) context() string {
+	if hc.chain == "" {
+		return ""
+	}
+	return " (hot call chain: " + hc.chain + ")"
+}
+
+func (hc *hotCheck) checkFunc(decl *ast.FuncDecl) {
 	var stack []ast.Node
 	ast.Inspect(decl, func(n ast.Node) bool {
 		if n == nil {
@@ -44,17 +70,18 @@ func (p *Pass) checkHotFunc(decl *ast.FuncDecl) {
 		stack = append(stack, n)
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			p.checkHotCall(n, stack)
+			hc.checkCall(n, stack)
 		case *ast.FuncLit:
-			p.checkHotFuncLit(n, stack, decl)
+			hc.checkFuncLit(n, stack, decl)
 		}
 		return true
 	})
 }
 
-func (p *Pass) checkHotCall(call *ast.CallExpr, stack []ast.Node) {
+func (hc *hotCheck) checkCall(call *ast.CallExpr, stack []ast.Node) {
+	p := hc.p
 	if p.IsBuiltin(call, "append") {
-		p.checkBoxingAppend(call)
+		hc.checkBoxingAppend(call)
 		return
 	}
 	fn := p.Callee(call)
@@ -64,12 +91,12 @@ func (p *Pass) checkHotCall(call *ast.CallExpr, stack []ast.Node) {
 	switch fn.Pkg().Path() {
 	case "fmt":
 		if !underPanic(p, stack) {
-			p.Reportf(ruleHotPath, call.Pos(),
-				"fmt.%s allocates and reflects inside a //mklint:hotpath function; precompute the string or move formatting off the hot path", fn.Name())
+			p.Reportf(hc.rule, call.Pos(),
+				"fmt.%s allocates and reflects inside a hot-path function; precompute the string or move formatting off the hot path%s", fn.Name(), hc.context())
 		}
 	case "reflect":
-		p.Reportf(ruleHotPath, call.Pos(),
-			"reflect.%s inside a //mklint:hotpath function; hot paths must stay monomorphic", fn.Name())
+		p.Reportf(hc.rule, call.Pos(),
+			"reflect.%s inside a hot-path function; hot paths must stay monomorphic%s", fn.Name(), hc.context())
 	}
 }
 
@@ -86,7 +113,8 @@ func underPanic(p *Pass, stack []ast.Node) bool {
 
 // checkBoxingAppend flags append(s, v) where s is an interface slice and
 // v a concrete value: each such append heap-boxes v.
-func (p *Pass) checkBoxingAppend(call *ast.CallExpr) {
+func (hc *hotCheck) checkBoxingAppend(call *ast.CallExpr) {
+	p := hc.p
 	if len(call.Args) < 2 {
 		return
 	}
@@ -108,8 +136,8 @@ func (p *Pass) checkBoxingAppend(call *ast.CallExpr) {
 		if _, isIface := t.Underlying().(*types.Interface); isIface {
 			continue
 		}
-		p.Reportf(ruleHotPath, arg.Pos(),
-			"append boxes concrete %s into an interface slice inside a //mklint:hotpath function", t)
+		p.Reportf(hc.rule, arg.Pos(),
+			"append boxes concrete %s into an interface slice inside a hot-path function%s", t, hc.context())
 	}
 }
 
@@ -121,11 +149,12 @@ func typeAsSlice(t types.Type) (*types.Slice, bool) {
 	return s, ok
 }
 
-// checkHotFuncLit flags closures that both escape (passed, returned,
+// checkFuncLit flags closures that both escape (passed, returned,
 // stored, deferred) and capture variables of the enclosing function: each
 // event-loop pass then allocates a fresh closure + captured environment.
 // Non-escaping literals stay on the stack and are free.
-func (p *Pass) checkHotFuncLit(fl *ast.FuncLit, stack []ast.Node, decl *ast.FuncDecl) {
+func (hc *hotCheck) checkFuncLit(fl *ast.FuncLit, stack []ast.Node, decl *ast.FuncDecl) {
+	p := hc.p
 	if len(stack) < 2 || !escapingFuncLit(fl, stack) {
 		return
 	}
@@ -133,8 +162,8 @@ func (p *Pass) checkHotFuncLit(fl *ast.FuncLit, stack []ast.Node, decl *ast.Func
 	if len(caps) == 0 {
 		return
 	}
-	p.Reportf(ruleHotPath, fl.Pos(),
-		"escaping closure captures %s inside a //mklint:hotpath function; it allocates per call — hoist the state or pass it as parameters", strings.Join(caps, ", "))
+	p.Reportf(hc.rule, fl.Pos(),
+		"escaping closure captures %s inside a hot-path function; it allocates per call — hoist the state or pass it as parameters%s", strings.Join(caps, ", "), hc.context())
 }
 
 func escapingFuncLit(fl *ast.FuncLit, stack []ast.Node) bool {

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const ruleHotProp = "hotprop"
+
+// Hotprop closes the hole the per-function hotpath rule leaves open: a
+// tagged engine function that calls an untagged helper silently moves
+// its allocations one frame down, out of the rule's sight. Hotprop walks
+// the module call graph forward from every //mklint:hotpath root and
+// applies the same construct checks to every function that is reachable
+// but not itself tagged, citing the (shortest) call chain that makes it
+// hot so the report is auditable: "engine.step → wheel.scan → helper".
+//
+// Calls spawned with go statements still propagate heat: the engine's
+// budget includes work it fans out. Functions behind plain function
+// values (stored callbacks) are the one blind spot — tag those directly.
+var Hotprop = &Analyzer{
+	Name: ruleHotProp,
+	Doc:  "hot-path hygiene propagated transitively through the call graph from //mklint:hotpath roots",
+	Run:  runHotprop,
+}
+
+// hotChainMax bounds the reported chain length; longer chains are
+// truncated in the middle ("root → a → … → leaf").
+const hotChainMax = 4
+
+func runHotprop(p *Pass) {
+	reach := p.Prog.HotReach()
+	tagged := p.Prog.hotTagged()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := p.Pkg.FuncObj(fd)
+			if fn == nil || tagged[fn] {
+				continue // directly tagged functions belong to hotpath
+			}
+			node := p.Prog.CallGraph().Node(fn)
+			if node == nil || !reach.Reached(node) {
+				continue
+			}
+			hc := &hotCheck{
+				p:     p,
+				rule:  ruleHotProp,
+				chain: strings.Join(reach.Chain(node, hotChainMax), " → "),
+			}
+			hc.checkFunc(fd)
+		}
+	}
+}

@@ -118,7 +118,27 @@ func TestCtxFlowFixture(t *testing.T)     { runFixture(t, "ctxflow", []*Analyzer
 func TestHotPathFixture(t *testing.T)     { runFixture(t, "hotpath", []*Analyzer{HotPath}) }
 func TestErrDropFixture(t *testing.T)     { runFixture(t, "errdrop", []*Analyzer{ErrDrop}) }
 func TestPrintDebugFixture(t *testing.T)  { runFixture(t, "printdebug", []*Analyzer{PrintDebug}) }
-func TestImportsFixture(t *testing.T)     { runFixture(t, "imports", []*Analyzer{Imports}) }
+func TestHotpropFixture(t *testing.T)     { runFixture(t, "hotprop", []*Analyzer{Hotprop}) }
+func TestGoleakFixture(t *testing.T)      { runFixture(t, "goleak", []*Analyzer{Goleak}) }
+func TestLocksFixture(t *testing.T)       { runFixture(t, "locks", []*Analyzer{Locks}) }
+func TestDepdagFixture(t *testing.T)      { runFixture(t, "depdag", []*Analyzer{Depdag}) }
+
+// TestDepdagSeededViolation pins the acceptance case by name: the
+// fixture's internal/sim package imports internal/serve, and the DAG
+// table rejects it.
+func TestDepdagSeededViolation(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "depdag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, Options{Analyzers: []*Analyzer{Depdag}})
+	for _, d := range diags {
+		if d.File == "internal/sim/sim.go" && strings.Contains(d.Message, "violates the package DAG") {
+			return
+		}
+	}
+	t.Fatalf("seeded internal/sim → internal/serve import was not rejected; got %v", diags)
+}
 
 // TestAllowMetaFixture runs the full registry so the directive machinery
 // itself is exercised: unknown rule names, missing reasons, stale allows

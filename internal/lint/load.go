@@ -25,6 +25,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // File is one parsed source file of a loaded package.
@@ -56,6 +58,13 @@ type Program struct {
 	Module   string // module path from go.mod
 	Packages []*Package
 	byPath   map[string]*Package
+
+	// Lazily computed whole-program facts (see facts.go).
+	cg         *callgraph.Graph
+	cgPkg      map[*callgraph.Package]*Package
+	hotFuncs   map[*types.Func]bool
+	hotReach   *callgraph.ReachResult
+	blockFacts map[*callgraph.Node]*blockFact
 }
 
 // Load parses and type-checks every package under root (the directory

@@ -9,9 +9,12 @@ func All() []*Analyzer {
 		FloatEq,
 		CtxFlow,
 		HotPath,
+		Hotprop,
+		Goleak,
+		Locks,
 		ErrDrop,
 		PrintDebug,
-		Imports,
+		Depdag,
 	}
 }
 

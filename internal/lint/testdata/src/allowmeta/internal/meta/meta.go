@@ -1,6 +1,6 @@
 // Package meta exercises mklint's own directive handling. The fixture is
 // run with the full registry so stale detection applies.
-package meta
+package meta // want depdag "not in the depdag layer table"
 
 // Unknown carries an allow naming a rule that does not exist.
 func Unknown() int {

@@ -1,0 +1,5 @@
+// Package experiment stands in for the experiment harness.
+package experiment
+
+// Grid is a harness constant a schema package must not reach for.
+const Grid = 8

@@ -1,0 +1,11 @@
+// Package lint mirrors the analyzer framework: it may import its own
+// subtree, and nothing else in the module.
+package lint
+
+import (
+	"fx/internal/lint/callgraph"
+	"fx/internal/timeu" // want depdag "must not import fx/internal/timeu"
+)
+
+// Count uses both imports.
+func Count() float64 { return timeu.Millis(int64(callgraph.Nodes)) }

@@ -1,0 +1,6 @@
+// Package mystery is deliberately absent from the depdag layer table: a
+// new package must take a position in the DAG before it ships.
+package mystery // want depdag "not in the depdag layer table"
+
+// X exists so the package is non-empty.
+const X = 1

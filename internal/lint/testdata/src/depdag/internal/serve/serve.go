@@ -1,0 +1,14 @@
+// Package serve is the translation layer: importing the schema package
+// below it is the allowed direction. Its import of mystery shows that an
+// importee missing from the layer table is reported at the import site.
+package serve
+
+import (
+	"fx/internal/mystery" // want depdag "not in the depdag layer table"
+	"fx/internal/serve/wire"
+)
+
+// Translate builds the schema document — allowed.
+func Translate() wire.Doc {
+	return wire.Doc{HorizonMS: float64(mystery.X)}
+}

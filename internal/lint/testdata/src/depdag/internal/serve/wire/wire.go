@@ -1,0 +1,20 @@
+// Package wire mirrors the repository's schema package: its layer sits
+// high enough to import the internals by rank alone, so explicit deny
+// edges keep it pure.
+package wire
+
+import (
+	"fx/internal/core"       // want depdag "must not import fx/internal/core"
+	"fx/internal/experiment" // want depdag "must not import fx/internal/experiment"
+	"fx/internal/timeu"
+)
+
+// Doc is the kind of pure data type that belongs here.
+type Doc struct {
+	HorizonMS float64 `json:"horizon_ms"`
+}
+
+// Bad folds internals into a document — the deny edges fire.
+func Bad() Doc {
+	return Doc{HorizonMS: timeu.Millis(int64(core.Pad + experiment.Grid))}
+}

@@ -1,0 +1,12 @@
+// Package sim stands in for the simulation engine. Its import of the
+// serving layer is the seeded DAG violation: layer 40 reaching up to
+// layer 80.
+package sim
+
+import "fx/internal/serve" // want depdag "violates the package DAG"
+
+// Horizon is an engine constant.
+const Horizon = 2000
+
+// Bad reaches upward into the serving layer — the violation.
+func Bad() float64 { return serve.Translate().HorizonMS }

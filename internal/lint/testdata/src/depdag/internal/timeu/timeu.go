@@ -1,4 +1,4 @@
-// Package timeu stands in for a leaf utility package wire may use.
+// Package timeu stands in for a leaf utility package.
 package timeu
 
 // Millis converts microseconds to milliseconds.

@@ -1,0 +1,3 @@
+module fx
+
+go 1.21

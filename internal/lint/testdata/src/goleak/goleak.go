@@ -1,0 +1,83 @@
+// Package goleak exercises the goroutine-termination rule: every go
+// statement needs a context, a WaitGroup.Done, or a spawner-owned
+// channel operation.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// global is package-level, so operating on it is NOT spawner-owned
+// evidence: the spawner has no handle on the goroutine's lifetime.
+var global = make(chan int)
+
+func ctxEvidence(ctx context.Context) {
+	go func() { // ok: selects on ctx.Done
+		<-ctx.Done()
+	}()
+}
+
+func wgEvidence(wg *sync.WaitGroup) {
+	go func() { // ok: tied to a waiter
+		defer wg.Done()
+	}()
+}
+
+func ownedChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() { // ok: closes a channel the spawner owns
+		defer close(done)
+	}()
+	return done
+}
+
+// nestedOwnership spawns from a helper closure; ownership is judged
+// against nestedOwnership itself, so results still counts.
+func nestedOwnership() int {
+	results := make(chan int, 1)
+	dispatch := func() {
+		go func() { // ok: sends on the outer function's channel
+			results <- 1
+		}()
+	}
+	dispatch()
+	return <-results
+}
+
+func namedWithCtx(ctx context.Context) {
+	go worker(ctx) // ok: a context crosses the call
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+func spinForever() {
+	go func() { // want goleak "no visible termination path"
+		for {
+		}
+	}()
+}
+
+func sleepForever() {
+	go func() { // want goleak "no visible termination path"
+		time.Sleep(time.Hour)
+	}()
+}
+
+func globalNotOwned() {
+	go func() { // want goleak "no visible termination path"
+		global <- 1
+	}()
+}
+
+func namedBad() {
+	go hotLoop() // want goleak "hotLoop has no visible termination path"
+}
+
+func hotLoop() {
+	n := 0
+	for {
+		n++
+	}
+}

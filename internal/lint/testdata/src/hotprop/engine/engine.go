@@ -1,0 +1,29 @@
+// Package engine mirrors the simulator: a tagged root whose untagged
+// helpers must inherit the hot-path checks through the call graph.
+package engine
+
+import (
+	"fmt"
+
+	"fx/wheel"
+)
+
+// Step is the tagged root. Its own body is the hotpath rule's business;
+// hotprop only cares about what it reaches.
+//
+//mklint:hotpath
+func Step(n int) int {
+	return helper(n) + wheel.Scan(n)
+}
+
+// helper is NOT tagged, but Step calls it: the old per-function rule
+// missed it, hotprop must not.
+func helper(n int) int {
+	s := fmt.Sprintf("n=%d", n) // want hotprop "hot call chain"
+	return len(s)
+}
+
+// cold is never reached from a tagged root; its formatting is fine.
+func cold(n int) string {
+	return fmt.Sprintf("cold %d", n)
+}

@@ -1,7 +1,6 @@
 package metrics
 
 import (
-	"fmt"
 	"strconv"
 
 	"repro/internal/timeu"
@@ -55,7 +54,9 @@ func (k EventKind) String() string {
 	if int(k) < len(eventKindNames) {
 		return eventKindNames[k]
 	}
-	return fmt.Sprintf("EventKind(%d)", int(k))
+	// String sits on the JSONL emit path, which the engine reaches per
+	// event: plain concatenation instead of fmt keeps it reflection-free.
+	return "EventKind(" + strconv.Itoa(int(k)) + ")"
 }
 
 // Copy codes for Event.Copy (the engine converts from task.Copy).
