@@ -9,6 +9,22 @@
 //	mkfleet -workers $A,$B -checkpoint ckpt.jsonl -out rows.jsonl
 //	mkfleet -workers $A,$B -checkpoint ckpt.jsonl -resume   # only missing intervals
 //	mkfleet -local -scenario both                           # in-process reference run
+//	mkfleet -workers $A -store /var/lib/mkss                # cross-run result cache
+//	mkfleet -elastic -min 1 -max 4 -store dir               # self-managed worker pool
+//	mkfleet -pool -min 1 -max 3 -pool-addrfile a -pool-status s.json
+//
+// -store points at a persistent content-addressed result store (shared
+// format with mkservd -store): before dispatching, every unit is probed
+// against it — a warm store satisfies a whole re-run without touching a
+// worker — and completed units are written back, so the cache survives
+// worker churn and process restarts.
+//
+// -elastic replaces -workers with a self-managed pool of in-process
+// workers, autoscaled between -min and -max from observed queue depth
+// and p95 latency. -pool runs the same autoscaling pool standalone (no
+// sweep) until SIGTERM, for driving with external load: -pool-addrfile
+// receives the first worker's address, -pool-status a periodically
+// rewritten pool-stats JSON.
 //
 // -local runs the identical sweep in-process (no workers, no HTTP)
 // through the same emission path, producing the reference stream a
@@ -30,8 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -39,6 +57,7 @@ import (
 	"repro"
 	"repro/internal/fleet"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 type options struct {
@@ -64,6 +83,19 @@ type options struct {
 	out        string
 	bench      string
 	quiet      bool
+
+	storeDir string
+
+	elastic        bool
+	pool           bool
+	min, max       int
+	poolAddrfile   string
+	poolStatus     string
+	workerInflight int
+	workerQueue    int
+	scaleInterval  time.Duration
+	scaleCooldown  time.Duration
+	scaleQueue     int64
 }
 
 func main() {
@@ -89,6 +121,18 @@ func main() {
 	flag.StringVar(&o.out, "out", "", "write the merged JSONL stream here (default: stdout)")
 	flag.StringVar(&o.bench, "bench", "", "write an mkss-bench/v1 fleet summary JSON here")
 	flag.BoolVar(&o.quiet, "q", false, "suppress the human-readable summary")
+	flag.StringVar(&o.storeDir, "store", "", "persistent result store directory (shared format with mkservd -store)")
+	flag.BoolVar(&o.elastic, "elastic", false, "autoscale an in-process worker pool instead of using -workers")
+	flag.BoolVar(&o.pool, "pool", false, "run a standalone autoscaling worker pool (no sweep) until SIGTERM")
+	flag.IntVar(&o.min, "min", 1, "elastic pool lower bound")
+	flag.IntVar(&o.max, "max", 4, "elastic pool upper bound")
+	flag.StringVar(&o.poolAddrfile, "pool-addrfile", "", "with -pool: write the first worker's address to this file")
+	flag.StringVar(&o.poolStatus, "pool-status", "", "with -pool: periodically rewrite this pool-stats JSON file")
+	flag.IntVar(&o.workerInflight, "worker-inflight", 0, "elastic worker execution slots (0 = serve default)")
+	flag.IntVar(&o.workerQueue, "worker-queue", 0, "elastic worker queue depth (0 = serve default)")
+	flag.DurationVar(&o.scaleInterval, "scale-interval", 0, "autoscaler control-loop cadence (0 = default 2s)")
+	flag.DurationVar(&o.scaleCooldown, "scale-cooldown", 0, "minimum gap between scaling operations (0 = default 30s)")
+	flag.Int64Var(&o.scaleQueue, "scale-queue", 0, "queued-jobs threshold that counts a tick as busy (0 = default 4)")
 	flag.Parse()
 	// SIGTERM behaves like SIGINT: abort the sweep, keep the checkpoint.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,6 +144,9 @@ func main() {
 }
 
 func run(ctx context.Context, o options) error {
+	if o.pool {
+		return runPool(ctx, o)
+	}
 	spec := fleet.SweepSpec{
 		Scenario:        o.scenario,
 		Seed:            o.seed,
@@ -146,13 +193,79 @@ func run(ctx context.Context, o options) error {
 	return runErr
 }
 
-// runFleet drives the coordinator against the -workers pool.
-func runFleet(ctx context.Context, o options, spec fleet.SweepSpec, emit func([]byte) error) error {
-	workers := splitList(o.workers)
-	if len(workers) == 0 {
-		return fmt.Errorf("no workers: pass -workers host:port[,host:port...] or -local")
+// openStore opens the -store directory, if configured.
+func openStore(o options) (*store.Store, error) {
+	if o.storeDir == "" {
+		return nil, nil
 	}
-	c, err := fleet.New(fleet.Config{
+	st, err := store.Open(o.storeDir, store.Options{Log: os.Stderr})
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	return st, nil
+}
+
+// localSpawn builds the elastic pool's worker factory: each worker is an
+// in-process mkservd on an ephemeral loopback port, tied to the pool's
+// context. All workers share the one store handle, so any worker's
+// computation warms every other worker.
+func localSpawn(o options, st *store.Store) fleet.SpawnFunc {
+	return func(ctx context.Context) (*fleet.WorkerHandle, error) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		s := serve.NewServer(serve.Config{
+			MaxInFlight: o.workerInflight,
+			QueueDepth:  o.workerQueue,
+			Store:       st,
+			Log:         io.Discard,
+		})
+		addr := l.Addr().String()
+		wctx, cancel := context.WithCancel(ctx)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if err := s.Run(wctx, l); err != nil {
+				fmt.Fprintf(os.Stderr, "mkfleet: worker %s: %v\n", addr, err)
+			}
+		}()
+		return &fleet.WorkerHandle{
+			Addr: addr,
+			Stop: func() { cancel(); <-done },
+		}, nil
+	}
+}
+
+// newPool builds (but does not start) the elastic pool from the flags.
+func newPool(o options, st *store.Store) (*fleet.Pool, error) {
+	return fleet.NewPool(fleet.PoolConfig{
+		Min:          o.min,
+		Max:          o.max,
+		Spawn:        localSpawn(o, st),
+		Interval:     o.scaleInterval,
+		Cooldown:     o.scaleCooldown,
+		ScaleUpQueue: o.scaleQueue,
+		Log:          os.Stderr,
+	})
+}
+
+// runFleet drives the coordinator against the -workers pool, or an
+// elastic in-process pool with -elastic.
+func runFleet(ctx context.Context, o options, spec fleet.SweepSpec, emit func([]byte) error) error {
+	st, err := openStore(o)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "mkfleet: close store: %v\n", cerr)
+			}
+		}()
+	}
+	workers := splitList(o.workers)
+	cfg := fleet.Config{
 		Workers:           workers,
 		Spec:              spec,
 		PerWorkerInFlight: o.inflight,
@@ -164,15 +277,31 @@ func runFleet(ctx context.Context, o options, spec fleet.SweepSpec, emit func([]
 		AllDownGrace:      o.grace,
 		CheckpointPath:    o.checkpoint,
 		Resume:            o.resume,
+		Store:             st,
 		Log:               os.Stderr,
-	})
+	}
+	if o.elastic {
+		pool, perr := newPool(o, st)
+		if perr != nil {
+			return perr
+		}
+		if perr := pool.Start(ctx); perr != nil {
+			return perr
+		}
+		defer pool.Stop()
+		cfg.Workers = nil
+		cfg.Pool = pool
+	} else if len(workers) == 0 {
+		return fmt.Errorf("no workers: pass -workers host:port[,host:port...], -elastic, or -local")
+	}
+	c, err := fleet.New(cfg)
 	if err != nil {
 		return err
 	}
 	sum, runErr := c.Run(ctx, emit)
 	if sum != nil {
 		if o.bench != "" {
-			if err := writeBench(o.bench, c.Spec(), len(workers), sum); err != nil {
+			if err := writeBench(o.bench, c.Spec(), len(sum.Workers), sum); err != nil {
 				if runErr == nil {
 					runErr = err
 				} else {
@@ -185,6 +314,74 @@ func runFleet(ctx context.Context, o options, spec fleet.SweepSpec, emit func([]
 		}
 	}
 	return runErr
+}
+
+// runPool runs the autoscaling pool standalone: workers come up, the
+// first one's address lands in -pool-addrfile for external load
+// generators, and -pool-status tracks the pool's shape until SIGTERM.
+func runPool(ctx context.Context, o options) error {
+	st, err := openStore(o)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "mkfleet: close store: %v\n", cerr)
+			}
+		}()
+	}
+	pool, err := newPool(o, st)
+	if err != nil {
+		return err
+	}
+	if err := pool.Start(ctx); err != nil {
+		return err
+	}
+	defer pool.Stop()
+	addrs := pool.Addrs()
+	fmt.Fprintf(os.Stderr, "mkfleet: pool up: %d workers (min %d, max %d), first at %s\n",
+		len(addrs), o.min, o.max, addrs[0])
+	if o.poolAddrfile != "" {
+		if err := os.WriteFile(o.poolAddrfile, []byte(addrs[0]), 0o644); err != nil {
+			return err
+		}
+	}
+	writeStatus := func() {
+		if o.poolStatus == "" {
+			return
+		}
+		if err := writeStatusFile(o.poolStatus, pool.Stats()); err != nil {
+			fmt.Fprintf(os.Stderr, "mkfleet: write pool status: %v\n", err)
+		}
+	}
+	writeStatus()
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			writeStatus()
+			fmt.Fprintf(os.Stderr, "mkfleet: pool shutting down\n")
+			return nil
+		case <-ticker.C:
+			writeStatus()
+		}
+	}
+}
+
+// writeStatusFile atomically replaces path with the stats JSON, so a
+// polling reader never sees a torn document.
+func writeStatusFile(path string, st fleet.PoolStats) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // runLocal computes the reference stream in-process: one batch sweep
@@ -259,8 +456,8 @@ func printSummary(w io.Writer, sum *fleet.Summary, runErr error) {
 	if runErr != nil {
 		status = "FAILED"
 	}
-	fmt.Fprintf(w, "mkfleet: sweep %s: %d units (%d from checkpoint), %d dispatched, %d retried, %d hedged, %d cancelled, %d failed in %.0f ms\n",
-		status, sum.Units, sum.FromCheckpoint, sum.Dispatched, sum.Retried, sum.Hedged, sum.Cancelled, sum.Failed, sum.ElapsedMS)
+	fmt.Fprintf(w, "mkfleet: sweep %s: %d units (%d from checkpoint, %d from store), %d dispatched, %d retried, %d hedged, %d cancelled, %d failed in %.0f ms\n",
+		status, sum.Units, sum.FromCheckpoint, sum.FromStore, sum.Dispatched, sum.Retried, sum.Hedged, sum.Cancelled, sum.Failed, sum.ElapsedMS)
 	for _, ws := range sum.Workers {
 		fmt.Fprintf(w, "         %-24s dispatched %-3d completed %-3d failed %-3d won %-3d markdowns %-3d probes %d\n",
 			ws.Addr, ws.Dispatched, ws.Completed, ws.Failed, ws.Won, ws.Markdowns, ws.Probes)

@@ -12,7 +12,15 @@
 //
 // 429 responses are counted as rejected (backpressure working), not as
 // errors; coalesced responses are recognized by the X-Mkss-Coalesced
-// header. SIGINT/SIGTERM stop the burst early and report what ran.
+// header and store hits by X-Mkss-Store. SIGINT/SIGTERM stop the burst
+// early and report what ran.
+//
+// -tenant stamps every request with the X-MK-Tenant header, for driving
+// a server with per-tenant quotas. -distinct gives every simulate
+// request a unique seed: identical requests coalesce into one
+// computation server-side, so a coalescing-aware burst never builds real
+// queue depth — distinct requests are how you load a server (or an
+// autoscaling pool) for real.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +59,8 @@ type options struct {
 	seed     uint64
 	out      string
 	quiet    bool
+	tenant   string
+	distinct bool
 }
 
 func main() {
@@ -65,6 +76,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "mix-draw seed (reproducible request sequences)")
 	flag.StringVar(&o.out, "out", "", "write the mkss-bench/v1 JSON document here (default: stdout)")
 	flag.BoolVar(&o.quiet, "q", false, "suppress the human-readable summary")
+	flag.StringVar(&o.tenant, "tenant", "", "X-MK-Tenant header value (empty = server default tenant)")
+	flag.BoolVar(&o.distinct, "distinct", false, "give every simulate request a unique seed (defeats coalescing and the store; builds real queue depth)")
 	flag.Parse()
 	// SIGTERM behaves like SIGINT: stop the burst, report partial results.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -125,6 +138,7 @@ type sample struct {
 	errors    int
 	rejected  int
 	coalesced int
+	storeHits int
 }
 
 // workerResult is one worker's private accounting (merged afterwards).
@@ -179,7 +193,7 @@ func run(ctx context.Context, o options) error {
 
 	// No client-level retries: a load test measures the server's raw
 	// behavior, so every rejection and error must surface as itself.
-	cl := client.New(client.Config{Addr: o.addr, HTTPClient: &http.Client{Timeout: 60 * time.Second}})
+	cl := client.New(client.Config{Addr: o.addr, HTTPClient: &http.Client{Timeout: 60 * time.Second}, Tenant: o.tenant})
 	results := make([]workerResult, o.workers)
 	var wg sync.WaitGroup
 	start := time.Now() //mklint:allow determinism — load-test wall clock; throughput denominator
@@ -280,8 +294,17 @@ func buildSpecs(o options, mix map[string]float64) (map[string]requestSpec, erro
 	specs := map[string]requestSpec{}
 	if mix["simulate"] > 0 {
 		req := serve.SimulateRequest{Set: spec, Approach: o.approach, HorizonMS: o.horizon}
+		// With -distinct each request draws a fresh seed, so no two
+		// requests share a coalescing flight or a store key: every one is
+		// real work, which is what builds the queue depth an autoscaler
+		// (or a backpressure test) needs to see.
+		var seq atomic.Uint64
 		specs["simulate"] = requestSpec{name: "simulate", do: func(ctx context.Context, cl *client.Client) (client.Info, error) {
-			_, info, err := cl.Simulate(ctx, req)
+			r := req
+			if o.distinct {
+				r.Seed = o.seed + seq.Add(1)
+			}
+			_, info, err := cl.Simulate(ctx, r)
 			return info, err
 		}}
 	}
@@ -328,6 +351,9 @@ func doRequest(ctx context.Context, cl *client.Client, spec requestSpec, res *sa
 	if info.Coalesced {
 		res.coalesced++
 	}
+	if info.StoreHit {
+		res.storeHits++
+	}
 	res.latencies = append(res.latencies, lat)
 }
 
@@ -347,6 +373,7 @@ type endpointDoc struct {
 	Errors    int        `json:"errors"`
 	Rejected  int        `json:"rejected"`
 	Coalesced int        `json:"coalesced"`
+	StoreHits int        `json:"store_hits"`
 	Latency   latencyDoc `json:"latency"`
 }
 
@@ -362,6 +389,7 @@ type benchDoc struct {
 	Errors      int                    `json:"errors"`
 	Rejected    int                    `json:"rejected"`
 	Coalesced   int                    `json:"coalesced"`
+	StoreHits   int                    `json:"store_hits"`
 	ReqPerSec   float64                `json:"req_per_sec"`
 	Latency     latencyDoc             `json:"latency"`
 	Endpoints   map[string]endpointDoc `json:"endpoints"`
@@ -420,6 +448,7 @@ func buildDoc(o options, mix map[string]float64, results []workerResult, elapsed
 			m.errors += s.errors
 			m.rejected += s.rejected
 			m.coalesced += s.coalesced
+			m.storeHits += s.storeHits
 		}
 	}
 	for name, m := range merged {
@@ -428,12 +457,14 @@ func buildDoc(o options, mix map[string]float64, results []workerResult, elapsed
 			Errors:    m.errors,
 			Rejected:  m.rejected,
 			Coalesced: m.coalesced,
+			StoreHits: m.storeHits,
 			Latency:   summarize(append([]float64(nil), m.latencies...)),
 		}
 		doc.Requests += len(m.latencies)
 		doc.Errors += m.errors
 		doc.Rejected += m.rejected
 		doc.Coalesced += m.coalesced
+		doc.StoreHits += m.storeHits
 		all = append(all, m.latencies...)
 	}
 	doc.Latency = summarize(all)
@@ -450,8 +481,8 @@ func printSummary(w io.Writer, doc benchDoc, interrupted bool) {
 	}
 	fmt.Fprintf(w, "mkload: %d ok, %d rejected, %d errors in %.1fs → %.0f req/s%s\n",
 		doc.Requests, doc.Rejected, doc.Errors, doc.DurationMS/1000, doc.ReqPerSec, note)
-	fmt.Fprintf(w, "        latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms   coalesced %d\n",
-		doc.Latency.P50MS, doc.Latency.P95MS, doc.Latency.P99MS, doc.Latency.MaxMS, doc.Coalesced)
+	fmt.Fprintf(w, "        latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms   coalesced %d  store hits %d\n",
+		doc.Latency.P50MS, doc.Latency.P95MS, doc.Latency.P99MS, doc.Latency.MaxMS, doc.Coalesced, doc.StoreHits)
 	if v, ok := doc.Server["mkservd_coalesced_total"]; ok {
 		fmt.Fprintf(w, "        server: coalesced_total %.0f, rejected_total %.0f, requests_total %.0f\n",
 			v, doc.Server["mkservd_rejected_total"], doc.Server["mkservd_requests_total"])

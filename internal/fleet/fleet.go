@@ -36,6 +36,7 @@ import (
 	"repro"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -162,6 +163,18 @@ type Config struct {
 	// and only missing intervals run.
 	CheckpointPath string
 	Resume         bool
+	// Store, when non-nil, is the persistent cross-run result cache:
+	// before dispatching, every pending unit's key is probed and a hit
+	// satisfies the unit without any worker traffic; completed units are
+	// written back so the next run (or a restarted coordinator) starts
+	// warm. The key space is shared with mkservd's own store, so a fleet
+	// run can warm a serving store and vice versa.
+	Store *store.Store
+	// Pool, when non-nil, is an elastic worker pool: the coordinator
+	// syncs its registry with Pool.Addrs() every tick, adopting workers
+	// the autoscaler spawned and retiring ones it stopped. Workers may
+	// be empty when a Pool is configured.
+	Pool *Pool
 	// Log receives coordinator lifecycle lines; nil discards them.
 	Log io.Writer
 	// Now is the wall clock (tests inject a fake); nil means time.Now.
@@ -181,7 +194,7 @@ type Coordinator struct {
 
 // New validates cfg and builds a Coordinator.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
+	if len(cfg.Workers) == 0 && cfg.Pool == nil {
 		return nil, errors.New("fleet: no workers configured")
 	}
 	spec, err := cfg.Spec.normalize()
@@ -314,14 +327,56 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 		}()
 	}
 
+	// Cross-run store: a pending unit whose row is already stored needs
+	// no worker at all — it is journaled like a freshly computed unit so
+	// a later -resume run is warm even without the store.
+	fromStore := 0
+	if c.cfg.Store != nil {
+		for u := 0; u < n; u++ {
+			if units[u].state == unitDone {
+				continue
+			}
+			raw, ok := c.cfg.Store.Get(c.unitKey(u, intervals[u]))
+			if !ok {
+				continue
+			}
+			rows[u] = raw
+			units[u].state = unitDone
+			if err := journal.Append(u, raw); err != nil {
+				return nil, err
+			}
+			fromStore++
+		}
+		if fromStore > 0 {
+			fmt.Fprintf(c.cfg.Log, "fleet: %d/%d units satisfied by the result store\n", fromStore, n)
+		}
+	}
+	// storePut writes one completed unit back to the store; a write
+	// failure costs only warmth, never the run.
+	storePut := func(u int, row []byte) {
+		if c.cfg.Store == nil {
+			return
+		}
+		if err := c.cfg.Store.Put(c.unitKey(u, intervals[u]), row); err != nil {
+			fmt.Fprintf(c.cfg.Log, "fleet: store write-back for unit %d: %v\n", u, err)
+		}
+	}
+
+	maxWorkers := len(c.cfg.Workers)
+	if c.cfg.Pool != nil && c.cfg.Pool.Max() > maxWorkers {
+		maxWorkers = c.cfg.Pool.Max()
+	}
 	reg := newRegistry(c.cfg.Workers, c.cfg.NewClient, c.cfg.ProbeBackoff, c.cfg.ProbeMax)
-	maxAttempts := len(reg.workers)*c.cfg.PerWorkerInFlight + 1
+	if c.cfg.Pool != nil {
+		reg.sync(c.cfg.Pool.Addrs(), c.cfg.NewClient)
+	}
+	maxAttempts := maxWorkers*c.cfg.PerWorkerInFlight + 1
 	results := make(chan unitResult, maxAttempts)
-	probes := make(chan probeResult, len(reg.workers))
+	probes := make(chan probeResult, maxWorkers+1)
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
-	doneCount := fromCkpt
+	doneCount := fromCkpt + fromStore
 	emitted := 0
 	activeAttempts, activeProbes := 0, 0
 	var fatal error
@@ -429,6 +484,7 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 			if err := journal.Append(at.unit, r.row); err != nil {
 				return err
 			}
+			storePut(at.unit, r.row)
 			for _, other := range ui.attempts {
 				other.cancel()
 			}
@@ -534,6 +590,9 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 			handleProbe(p)
 		case <-ticker.C:
 			t := c.now()
+			if c.cfg.Pool != nil {
+				reg.sync(c.cfg.Pool.Addrs(), c.cfg.NewClient)
+			}
 			for _, w := range reg.probeDue(t) {
 				launchProbe(w)
 			}
@@ -576,6 +635,7 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 				if err := journal.Append(r.at.unit, r.row); err != nil {
 					fmt.Fprintf(c.cfg.Log, "fleet: checkpoint during shutdown: %v\n", err)
 				}
+				storePut(r.at.unit, r.row)
 			} else {
 				r.at.w.stats.Cancelled++
 			}
@@ -585,7 +645,7 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 	}
 
 	elapsedMS := float64(c.now().Sub(start)) / 1e6
-	sum := summarize(reg, n, fromCkpt, elapsedMS)
+	sum := summarize(reg, n, fromCkpt, fromStore, elapsedMS)
 	if fatal != nil {
 		// Best-effort terminal error line, mirroring the serving
 		// layer's mid-stream error convention.
@@ -599,9 +659,19 @@ func (c *Coordinator) Run(ctx context.Context, out func(line []byte) error) (*Su
 	})); err != nil {
 		return sum, fmt.Errorf("fleet: write done line: %w", err)
 	}
-	fmt.Fprintf(c.cfg.Log, "fleet: sweep complete: %d units (%d from checkpoint, %d dispatched, %d retried, %d hedged) in %.0f ms\n",
-		n, fromCkpt, sum.Dispatched, sum.Retried, sum.Hedged, elapsedMS)
+	fmt.Fprintf(c.cfg.Log, "fleet: sweep complete: %d units (%d from checkpoint, %d from store, %d dispatched, %d retried, %d hedged) in %.0f ms\n",
+		n, fromCkpt, fromStore, sum.Dispatched, sum.Retried, sum.Hedged, elapsedMS)
 	return sum, nil
+}
+
+// unitKey derives a unit's persistent-store key. It is the exact key the
+// serving layer computes for the single-interval sweep request runUnit
+// sends: workload.Intervals regenerates bit-identical interval bounds
+// from (Lo, Hi) on both sides, so a row cached by a worker's own store
+// and a row cached by the coordinator are interchangeable.
+func (c *Coordinator) unitKey(unit int, iv workload.Interval) string {
+	return store.SweepUnitKey(c.spec.Scenario, c.spec.Seed, c.spec.SetsPerInterval,
+		c.spec.MaxCandidates, iv.Lo, iv.Hi, unit, c.spec.Approaches)
 }
 
 // runUnit executes one work unit on one worker: a single-interval sweep

@@ -13,6 +13,7 @@ const (
 	workerUp workerState = iota
 	workerDown
 	workerProbing // down, probe in flight
+	workerRetired // removed from an elastic pool; never dispatched or probed again
 )
 
 // worker is one mkservd behind the coordinator. All fields are owned by
@@ -36,9 +37,9 @@ type worker struct {
 	stats WorkerStats
 }
 
-// registry is the coordinator's static worker set: the -workers list,
-// probed periodically, marked down on dispatch/probe failures and back
-// up on a successful probe.
+// registry is the coordinator's worker set: the -workers list (plus any
+// elastic-pool members adopted via sync), probed periodically, marked
+// down on dispatch/probe failures and back up on a successful probe.
 type registry struct {
 	workers []*worker
 
@@ -80,9 +81,57 @@ func (r *registry) pick(exclude map[int]bool, maxInflight int) *worker {
 	return best
 }
 
+// add appends one worker to the registry, initially up (same rationale
+// as newRegistry: the first dispatch doubles as the health check).
+func (r *registry) add(addr string, mk func(addr string) *client.Client) *worker {
+	w := &worker{
+		index: len(r.workers),
+		addr:  addr,
+		cl:    mk(addr),
+		state: workerUp,
+		stats: WorkerStats{Addr: addr},
+	}
+	r.workers = append(r.workers, w)
+	return w
+}
+
+// sync reconciles the registry with an elastic pool's current member
+// addresses: unknown addresses are adopted as fresh up workers, and
+// members the pool no longer lists are retired — their in-flight
+// attempts finish (or fail and get retried elsewhere), but they are
+// never picked or probed again. A retired worker's entry survives for
+// the final Summary.
+func (r *registry) sync(addrs []string, mk func(addr string) *client.Client) {
+	want := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+	}
+	have := make(map[string]bool, len(r.workers))
+	for _, w := range r.workers {
+		if w.state == workerRetired {
+			continue
+		}
+		if want[w.addr] {
+			have[w.addr] = true
+			continue
+		}
+		w.state = workerRetired
+	}
+	for _, a := range addrs {
+		if !have[a] {
+			r.add(a, mk)
+		}
+	}
+}
+
 // markDown transitions a worker to down after a dispatch or probe
-// failure, scheduling its next probe with exponential backoff.
+// failure, scheduling its next probe with exponential backoff. Retired
+// workers stay retired: a stopped pool member's dying attempts must not
+// resurrect it into the probe loop.
 func (r *registry) markDown(w *worker, now time.Time) {
+	if w.state == workerRetired {
+		return
+	}
 	if w.state == workerUp {
 		w.stats.Markdowns++
 	}
@@ -119,6 +168,8 @@ func (r *registry) probeDue(now time.Time) []*worker {
 }
 
 // allDown reports whether no worker is available or becoming available.
+// Retired workers count as gone, not down: a pool that scaled in is not
+// an outage.
 func (r *registry) allDown() bool {
 	for _, w := range r.workers {
 		if w.state == workerUp {

@@ -55,6 +55,7 @@ var depLayers = []depLayer{
 	{"", 70, "public repro API"},
 	{"internal/estimate", 75, "analytical estimator"},
 	{"internal/serve/wire", 75, "HTTP/JSON schema"},
+	{"internal/store", 75, "persistent result store"},
 	{"internal/serve/client", 78, "HTTP client"},
 	{"internal/serve", 80, "HTTP server"},
 	{"internal/fleet", 85, "fleet orchestration"},
@@ -97,6 +98,18 @@ var depDenies = []depDeny{
 	{
 		from: "internal/serve/client", to: "internal/experiment",
 		why: "the out-of-process client must not link the engine",
+	},
+	{
+		from: "internal/store", to: "internal/sim",
+		why: "the store is a durability layer keyed on opaque bytes; it must not know the engine that produced them",
+	},
+	{
+		from: "internal/store", to: "internal/core",
+		why: "the store is a durability layer keyed on opaque bytes; it must not know the engine that produced them",
+	},
+	{
+		from: "internal/store", to: "internal/experiment",
+		why: "the store is a durability layer keyed on opaque bytes; it must not know the engine that produced them",
 	},
 	{
 		from: "internal/lint", to: "", except: "internal/lint",

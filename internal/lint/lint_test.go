@@ -140,6 +140,23 @@ func TestDepdagSeededViolation(t *testing.T) {
 	t.Fatalf("seeded internal/sim → internal/serve import was not rejected; got %v", diags)
 }
 
+// TestDepdagStoreDenyEdge pins the store's purity rule: the fixture's
+// internal/store package sits above the engine by rank, so only the
+// explicit deny edge rejects its import of internal/sim.
+func TestDepdagStoreDenyEdge(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "depdag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, Options{Analyzers: []*Analyzer{Depdag}})
+	for _, d := range diags {
+		if d.File == "internal/store/store.go" && strings.Contains(d.Message, "must not import fx/internal/sim") {
+			return
+		}
+	}
+	t.Fatalf("seeded internal/store → internal/sim import was not rejected; got %v", diags)
+}
+
 // TestAllowMetaFixture runs the full registry so the directive machinery
 // itself is exercised: unknown rule names, missing reasons, stale allows
 // and unknown verbs are all diagnostics under the reserved "allow" rule.

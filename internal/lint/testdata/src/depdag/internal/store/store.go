@@ -1,0 +1,20 @@
+// Package store stands in for the persistent result store. Its rank
+// (75) sits above the engine, so the numbers alone would allow the
+// import below — the explicit deny edge is what rejects it: the store
+// persists opaque bytes and must never link the engine that produced
+// them.
+package store
+
+import (
+	"fx/internal/sim" // want depdag "must not import fx/internal/sim"
+	"fx/internal/timeu"
+)
+
+// Record is the kind of opaque payload the store is allowed to hold.
+type Record struct {
+	Key  string
+	Body []byte
+}
+
+// Bad derives a stored value from engine internals — the deny edge fires.
+func Bad() float64 { return timeu.Millis(int64(sim.Horizon)) }

@@ -45,6 +45,10 @@ type Config struct {
 	// Backoff is the first retry's delay, doubling per retry (default
 	// 100ms). The per-call context keeps the total bounded.
 	Backoff time.Duration
+	// Tenant, when non-empty, is sent as the X-MK-Tenant header on every
+	// request — the identity the server's per-tenant quotas account
+	// against. Empty means the server's default tenant.
+	Tenant string
 }
 
 // Client calls one mkss server. It is safe for concurrent use.
@@ -112,6 +116,9 @@ type Info struct {
 	// Coalesced reports the X-Mkss-Coalesced marker: the response was
 	// shared with a concurrent identical request.
 	Coalesced bool
+	// StoreHit reports the X-Mkss-Store marker: the response came from
+	// the server's persistent result store, not a live run.
+	StoreHit bool
 	// Attempts counts the requests actually sent (1 = no retry needed).
 	Attempts int
 }
@@ -329,6 +336,7 @@ func (c *Client) doRetry(ctx context.Context, info *Info, method, path string, b
 		}
 		info.Status = resp.StatusCode
 		info.Coalesced = resp.Header.Get("X-Mkss-Coalesced") != ""
+		info.StoreHit = resp.Header.Get("X-Mkss-Store") == "hit"
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 			return resp, nil
 		}
@@ -356,6 +364,9 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, con
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if c.cfg.Tenant != "" {
+		req.Header.Set("X-MK-Tenant", c.cfg.Tenant)
 	}
 	return c.hc.Do(req)
 }

@@ -33,7 +33,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusMethodNotAllowed, 0, "GET or POST required")
 		return
 	}
-	if !s.admitRate(w) {
+	if !s.admitRate(w, r) {
 		return
 	}
 	var req EstimateRequest

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// eventLog is mkservd's JSONL event stream (the -events flag): one line
+// per store/quota event, for offline analysis of cache efficacy and
+// tenant behavior. A nil writer makes every emit a no-op, so handler
+// code calls emit unconditionally.
+type eventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	// dropped counts lines lost to write errors (reported once each).
+	dropped uint64
+	log     io.Writer
+}
+
+// serveEvent is one event line. TUS is the emission wall-clock in unix
+// microseconds — an absolute timestamp, so streams from sequential
+// server lifetimes on one store directory interleave correctly.
+type serveEvent struct {
+	Schema string `json:"schema"`
+	TUS    int64  `json:"t_us"`
+	Kind   string `json:"kind"`
+	Key    string `json:"key,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// EventSchema tags mkservd's JSONL event lines.
+const EventSchema = "mkss-serve-event/v1"
+
+// Event kinds emitted on the stream.
+const (
+	eventStoreHit    = "store-hit"
+	eventStoreMiss   = "store-miss"
+	eventStoreWrite  = "store-write"
+	eventQuotaReject = "quota-reject"
+)
+
+func newEventLog(w io.Writer, now func() time.Time, log io.Writer) *eventLog {
+	if w == nil {
+		return nil
+	}
+	return &eventLog{w: w, now: now, log: log}
+}
+
+// emit writes one event line. Safe on a nil eventLog.
+func (e *eventLog) emit(kind, key, tenant string) {
+	if e == nil {
+		return
+	}
+	line, err := json.Marshal(serveEvent{
+		Schema: EventSchema,
+		TUS:    e.now().UnixMicro(),
+		Kind:   kind,
+		Key:    key,
+		Tenant: tenant,
+	})
+	if err != nil {
+		return // the event types contain nothing unmarshalable
+	}
+	line = append(line, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, werr := e.w.Write(line); werr != nil {
+		if e.dropped == 0 {
+			fmt.Fprintf(e.log, "mkservd: event stream write failed (further drops silent): %v\n", werr)
+		}
+		e.dropped++
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/analysis"
 	"repro/internal/experiment"
 	"repro/internal/serve/wire"
+	"repro/internal/store"
 	"repro/internal/timeu"
 	"repro/internal/workload"
 )
@@ -49,6 +51,7 @@ const (
 	CodeMethodNotAllowed = wire.CodeMethodNotAllowed
 	CodeRateLimited      = wire.CodeRateLimited
 	CodeQueueFull        = wire.CodeQueueFull
+	CodeQuotaExceeded    = wire.CodeQuotaExceeded
 	CodeUnprocessable    = wire.CodeUnprocessable
 	CodeUnavailable      = wire.CodeUnavailable
 	CodeDeadline         = wire.CodeDeadline
@@ -113,7 +116,7 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &ae):
 		s.rejected.Add(1)
-		s.rejectCode(w, ae.status, int((ae.retryAfter+999999999)/1000000000), ae.code, ae.msg)
+		s.rejectCode(w, ae.status, ceilSeconds(ae.retryAfter), ae.code, ae.msg)
 	case errors.Is(err, errHTTPDeadline):
 		s.reject(w, http.StatusGatewayTimeout, 0, err.Error())
 	case errors.Is(err, errHTTPCanceled):
@@ -151,32 +154,53 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// admitRate applies the token bucket (when configured) to one request.
-func (s *Server) admitRate(w http.ResponseWriter) bool {
-	if s.bucket == nil {
-		return true
+// admitRate applies rate admission to one request: the global token
+// bucket first (host protection), then the per-tenant bucket (fairness).
+// Both 429 flavors carry a Retry-After derived from the rejecting
+// bucket's own refill time, so a client's backoff matches the bucket
+// that actually stopped it.
+func (s *Server) admitRate(w http.ResponseWriter, r *http.Request) bool {
+	if s.bucket != nil {
+		if ok, retry := s.bucket.take(); !ok {
+			s.rejected.Add(1)
+			s.reject(w, http.StatusTooManyRequests, ceilSeconds(retry),
+				"request rate limit exceeded")
+			return false
+		}
 	}
-	ok, retry := s.bucket.take()
-	if !ok {
-		s.rejected.Add(1)
-		s.reject(w, http.StatusTooManyRequests, int(retry.Seconds()),
-			"request rate limit exceeded")
+	if s.tenants != nil {
+		tenant := Tenant(r)
+		if ok, retry := s.tenants.take(tenant); !ok {
+			s.rejected.Add(1)
+			s.events.emit(eventQuotaReject, "", tenant)
+			s.rejectCode(w, http.StatusTooManyRequests, ceilSeconds(retry), CodeQuotaExceeded,
+				fmt.Sprintf("tenant %q quota exceeded", tenant))
+			return false
+		}
 	}
-	return ok
+	return true
 }
 
-// simulateKey canonicalizes the coalescing key of one simulate request:
-// the set fingerprint (names excluded — they cannot influence the run)
-// plus every config field that can change the result.
+// ceilSeconds rounds a Retry-After hint up to whole seconds (the
+// header's resolution); a positive hint never rounds to zero.
+func ceilSeconds(d time.Duration) int {
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// simulateKey canonicalizes the identity of one simulate request: the
+// set fingerprint (names excluded — they cannot influence the run) plus
+// every config field that can change the result. The same key serves
+// both in-process coalescing (flightGroup) and the persistent store, so
+// the two dedupe layers agree on what "the same request" means.
 func simulateKey(set *repro.Set, a repro.Approach, sc repro.Scenario, req SimulateRequest) string {
-	return strings.Join([]string{
+	return store.RunKey(
 		analysis.Fingerprint(set),
 		a.String(),
 		sc.String(),
-		strconv.FormatUint(req.Seed, 10),
-		strconv.FormatInt(int64(timeu.FromMillis(req.HorizonMS)), 10),
-		strconv.FormatFloat(req.TransientRate, 'g', -1, 64),
-	}, "|")
+		req.Seed,
+		int64(timeu.FromMillis(req.HorizonMS)),
+		req.TransientRate,
+	)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -184,7 +208,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusMethodNotAllowed, 0, "POST required")
 		return
 	}
-	if !s.admitRate(w) {
+	if !s.admitRate(w, r) {
 		return
 	}
 	var req SimulateRequest
@@ -219,7 +243,22 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, req Simul
 	ctx, cancel := s.workCtx(r, req.TimeoutMS)
 	defer cancel()
 
-	val, shared, err := s.flights.do(ctx, simulateKey(set, a, sc, req), func(lctx context.Context) ([]byte, error) {
+	key := simulateKey(set, a, sc, req)
+	// The persistent store is consulted before admission: a hit is the
+	// bytes a live run would produce (the store is keyed on everything
+	// that can change them), served without an execution slot, so a warm
+	// restart absorbs repeat traffic at disk-read cost.
+	if s.cfg.Store != nil {
+		if val, ok := s.cfg.Store.Get(key); ok {
+			s.events.emit(eventStoreHit, key, Tenant(r))
+			w.Header().Set("X-Mkss-Store", "hit")
+			s.writeRaw(w, val)
+			return
+		}
+		s.events.emit(eventStoreMiss, key, Tenant(r))
+	}
+
+	val, shared, err := s.flights.do(ctx, key, func(lctx context.Context) ([]byte, error) {
 		release, err := s.adm.acquire(lctx)
 		if err != nil {
 			return nil, err
@@ -253,7 +292,21 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, req Simul
 			doc.PermanentAtUS = int64(pf.At)
 			doc.PermanentProc = pf.Proc
 		}
-		return json.Marshal(doc)
+		data, merr := json.Marshal(doc)
+		if merr != nil {
+			return nil, merr
+		}
+		// Write-back: the next process lifetime (or the next fleet run)
+		// serves these bytes without simulating. A store failure costs
+		// only future hits, never this response.
+		if s.cfg.Store != nil {
+			if perr := s.cfg.Store.Put(key, data); perr != nil {
+				fmt.Fprintf(s.cfg.Log, "mkservd: store write-back: %v\n", perr)
+			} else {
+				s.events.emit(eventStoreWrite, key, "")
+			}
+		}
+		return data, nil
 	})
 	if shared {
 		s.coalesced.Add(1)
@@ -263,13 +316,17 @@ func (s *Server) serveSimulate(w http.ResponseWriter, r *http.Request, req Simul
 		s.fail(w, classifyCtx(err))
 		return
 	}
+	s.writeRaw(w, val)
+}
+
+// writeRaw writes a prebuilt JSON document plus the trailing newline.
+// val may be shared (a coalesced flight's buffer, the store's copy):
+// the newline is written separately, never appended into it.
+func (s *Server) writeRaw(w http.ResponseWriter, val []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	// val is shared across coalesced followers: write the trailing newline
-	// separately instead of appending into the shared buffer.
 	if _, err := w.Write(val); err == nil {
-		_, err = io.WriteString(w, "\n")
-		if err != nil {
+		if _, err = io.WriteString(w, "\n"); err != nil {
 			fmt.Fprintf(s.cfg.Log, "mkservd: write response: %v\n", err)
 		}
 	} else {
@@ -305,6 +362,24 @@ func RowLine(approaches []repro.Approach, row experiment.Row) SweepLine {
 // (mustLine), for clients reproducing the stream byte for byte.
 func MarshalLine(v SweepLine) []byte { return mustLine(v) }
 
+// sweepUnitKeys derives the persistent-store key of every interval in a
+// sweep request. The key space is shared with the fleet coordinator:
+// interval i of this request is unit (req.IntervalOffset + i) of the
+// logical full-range sweep, so a row computed through either path is a
+// store hit for the other.
+func sweepUnitKeys(sc repro.Scenario, as []repro.Approach, req SweepRequest, intervals []workload.Interval) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.String()
+	}
+	keys := make([]string, len(intervals))
+	for i, iv := range intervals {
+		keys[i] = store.SweepUnitKey(sc.String(), req.Seed, req.SetsPerInterval,
+			req.MaxCandidates, iv.Lo, iv.Hi, req.IntervalOffset+i, names)
+	}
+	return keys
+}
+
 // sweepKey canonicalizes the coalescing key of one sweep request.
 func sweepKey(sc repro.Scenario, as []repro.Approach, req SweepRequest) string {
 	names := make([]string, len(as))
@@ -328,7 +403,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusMethodNotAllowed, 0, "POST required")
 		return
 	}
-	if !s.admitRate(w) {
+	if !s.admitRate(w, r) {
 		return
 	}
 	var req SweepRequest
@@ -380,17 +455,44 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	intervals := workload.Intervals(req.Lo, req.Hi, 0.1)
 	job, started := s.sweeps.attach(sweepKey(sc, as, req), func(lctx context.Context, publish func([]byte)) error {
-		release, err := s.adm.acquire(lctx)
-		if err != nil {
-			return err
-		}
-		defer release()
 		start := s.now()
+		// Probe the store for every interval up front. Rows that hit are
+		// streamed from disk; a sweep whose every interval hits never
+		// acquires an execution slot at all — a warm re-run of a whole
+		// sweep is pure reads.
+		var keys []string
+		var cached [][]byte
+		allHit := false
+		if s.cfg.Store != nil {
+			keys = sweepUnitKeys(sc, as, req, intervals)
+			cached = make([][]byte, len(intervals))
+			allHit = true
+			for i, k := range keys {
+				if val, ok := s.cfg.Store.Get(k); ok {
+					cached[i] = val
+					s.events.emit(eventStoreHit, k, "")
+				} else {
+					allHit = false
+					s.events.emit(eventStoreMiss, k, "")
+				}
+			}
+		}
+		if !allHit {
+			release, err := s.adm.acquire(lctx)
+			if err != nil {
+				return err
+			}
+			defer release()
+		}
 		publish(mustLine(SweepLine{
 			Type: "start", Schema: SweepSchema, Scenario: sc.String(),
 			Seed: req.Seed, Intervals: len(intervals),
 		}))
 		for i, iv := range intervals {
+			if cached != nil && cached[i] != nil {
+				publish(cached[i])
+				continue
+			}
 			cfg := repro.DefaultSweepConfig(sc)
 			cfg.Seed = req.Seed
 			cfg.SetsPerInterval = req.SetsPerInterval
@@ -415,7 +517,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			s.aggRuns += uint64(len(row.Sets) * len(rep.Approaches))
 			s.aggMu.Unlock()
-			publish(mustLine(line))
+			raw := mustLine(line)
+			if s.cfg.Store != nil {
+				if perr := s.cfg.Store.Put(keys[i], raw); perr != nil {
+					fmt.Fprintf(s.cfg.Log, "mkservd: store write-back: %v\n", perr)
+				} else {
+					s.events.emit(eventStoreWrite, keys[i], "")
+				}
+			}
+			publish(raw)
 		}
 		publish(mustLine(SweepLine{
 			Type:      "done",
@@ -466,7 +576,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusMethodNotAllowed, 0, "GET or POST required")
 		return
 	}
-	if !s.admitRate(w) {
+	if !s.admitRate(w, r) {
 		return
 	}
 	var spec repro.SetSpec
@@ -532,7 +642,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusMethodNotAllowed, 0, "GET required")
 		return
 	}
-	doc := HealthDoc{Status: "ok", InFlight: s.inflight.Load() - 1, Queued: s.queued.Load()}
+	doc := HealthDoc{
+		Status:        "ok",
+		InFlight:      s.inflight.Load() - 1,
+		Queued:        s.queued.Load(),
+		P95MS:         s.lat.p95(),
+		QuotaRejected: s.quotaRejections.Snapshot(),
+	}
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		doc.Store = &wire.StoreStatsDoc{
+			Hits:             stats.Hits,
+			Misses:           stats.Misses,
+			Writes:           stats.Writes,
+			CorruptRecovered: stats.CorruptRecovered,
+			Segments:         stats.Segments,
+			Keys:             stats.Keys,
+			Superseded:       stats.Superseded,
+			DiskBytes:        stats.DiskBytes,
+		}
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		doc.Status = "draining"

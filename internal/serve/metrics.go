@@ -39,6 +39,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"requests_total", u(s.requests.Load())},
 		{"slots", strconv.Itoa(s.cfg.MaxInFlight)},
 	})
+	fmt.Fprintf(&b, "mkservd_p95_ms %s\n", strconv.FormatFloat(s.lat.p95(), 'f', -1, 64))
+	if st := s.cfg.Store; st != nil {
+		b.WriteString("# persistent result store\n")
+		stats := st.Stats()
+		writePairs(&b, "mkservd_store_", [][2]string{
+			{"corrupt_recovered_total", u(stats.CorruptRecovered)},
+			{"disk_bytes", strconv.FormatInt(stats.DiskBytes, 10)},
+			{"hits_total", u(stats.Hits)},
+			{"keys", strconv.Itoa(stats.Keys)},
+			{"misses_total", u(stats.Misses)},
+			{"segments", strconv.Itoa(stats.Segments)},
+			{"superseded", strconv.Itoa(stats.Superseded)},
+			{"writes_total", u(stats.Writes)},
+		})
+	}
+	if rej := s.quotaRejections.Snapshot(); len(rej) > 0 {
+		b.WriteString("# per-tenant quota rejections\n")
+		for _, tenant := range s.quotaRejections.Keys() {
+			fmt.Fprintf(&b, "mkservd_quota_rejected_total{tenant=%q} %d\n", tenant, rej[tenant])
+		}
+	}
 	b.WriteString("# analysis cache\n")
 	st := s.runner.CacheStats()
 	writePairs(&b, "mkservd_cache_", [][2]string{

@@ -29,12 +29,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value of every field picks a sensible
@@ -66,6 +68,22 @@ type Config struct {
 	DrainWindow time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Store, when non-nil, is the persistent result store consulted
+	// before admission: a /v1/simulate or /v1/sweep result whose key is
+	// stored is served from disk, byte-identical to a live run, without
+	// consuming an execution slot; misses are written back after the run.
+	Store *store.Store
+	// TenantRatePerSec, when positive, enforces a per-tenant token-bucket
+	// quota (tenant from the X-MK-Tenant header, DefaultTenant otherwise)
+	// on top of the global rate limit. Zero disables tenant quotas.
+	TenantRatePerSec float64
+	// TenantBurst is each tenant bucket's capacity (default:
+	// max(1, TenantRatePerSec)).
+	TenantBurst int
+	// Events, when non-nil, receives the JSONL event stream (schema
+	// mkss-serve-event/v1): store hits/misses/write-backs and per-tenant
+	// quota rejections, one line each.
+	Events io.Writer
 	// Log receives lifecycle and error lines; nil discards them.
 	Log io.Writer
 	// Now is the wall clock (tests inject a fake one); nil means time.Now.
@@ -84,6 +102,13 @@ type Server struct {
 	adm     *admission
 	flights *flightGroup
 	sweeps  *sweepRegistry
+	tenants *tenantLimiter
+	events  *eventLog
+	lat     *latencyRing
+
+	// quotaRejections counts per-tenant quota rejections for /healthz
+	// and /metrics (fed by tenants, which holds a pointer to it).
+	quotaRejections metrics.TenantCounter
 
 	// hardStop is closed when the drain window expires; every in-flight
 	// request's work context is canceled through it.
@@ -140,11 +165,16 @@ func NewServer(cfg Config) *Server {
 		now:      cfg.Now,
 		flights:  newFlightGroup(),
 		sweeps:   newSweepRegistry(),
+		lat:      newLatencyRing(512),
 		hardStop: make(chan struct{}),
 	}
 	if cfg.RatePerSec > 0 {
 		s.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst, cfg.Now)
 	}
+	if cfg.TenantRatePerSec > 0 {
+		s.tenants = newTenantLimiter(cfg.TenantRatePerSec, cfg.TenantBurst, cfg.Now, &s.quotaRejections)
+	}
+	s.events = newEventLog(cfg.Events, cfg.Now, cfg.Log)
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, &s.queued)
 	return s
 }
@@ -183,6 +213,13 @@ func (s *Server) observe(h func(http.ResponseWriter, *http.Request)) http.Handle
 			w.Header().Set("Connection", "close")
 			s.reject(w, http.StatusServiceUnavailable, 0, "server is draining")
 			return
+		}
+		// Only /v1/* work feeds the p95 gauge: health probes and metrics
+		// scrapes are sub-millisecond and frequent, and folding them in
+		// would drag the autoscaler's load signal toward zero.
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			start := s.now()
+			defer func() { s.lat.observe(s.now().Sub(start)) }()
 		}
 		h(w, r)
 	})

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Per-tenant quotas: every tenant gets its own token bucket (uniform
+// rate/burst), created on first sight, so one hot client exhausts its
+// own bucket while everyone else's stays full. The tenant is whatever
+// the TenantHeader carries; requests without the header share the
+// default tenant's bucket. This sits beneath the global rate limit (when
+// one is configured): the global bucket protects the host, the tenant
+// buckets protect the tenants from each other.
+
+// TenantHeader names the request header carrying the tenant identity.
+const TenantHeader = "X-MK-Tenant"
+
+// DefaultTenant is the tenant of requests without a TenantHeader.
+const DefaultTenant = "default"
+
+// Tenant extracts the request's tenant identity.
+func Tenant(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// tenantLimiter lazily maintains one token bucket per tenant.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   int
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+	// rejected counts quota rejections per tenant, surfaced in /healthz
+	// and /metrics.
+	rejected *metrics.TenantCounter
+}
+
+func newTenantLimiter(rate float64, burst int, now func() time.Time, rejected *metrics.TenantCounter) *tenantLimiter {
+	return &tenantLimiter{
+		rate:     rate,
+		burst:    burst,
+		now:      now,
+		buckets:  map[string]*tokenBucket{},
+		rejected: rejected,
+	}
+}
+
+// take consumes one token from tenant's bucket; on exhaustion it reports
+// the bucket's refill time (the Retry-After hint) and counts the
+// rejection against the tenant.
+func (l *tenantLimiter) take(tenant string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = newTokenBucket(l.rate, l.burst, l.now)
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	ok, retryAfter = b.take()
+	if !ok {
+		l.rejected.Add(tenant)
+	}
+	return ok, retryAfter
+}

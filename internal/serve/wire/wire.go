@@ -209,16 +209,43 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeRateLimited      = "rate_limited"
 	CodeQueueFull        = "queue_full"
-	CodeUnprocessable    = "unprocessable"
-	CodeUnavailable      = "unavailable"
-	CodeDeadline         = "deadline"
-	CodeInternal         = "internal"
+	// CodeQuotaExceeded is the third 429 flavor: this tenant's own token
+	// bucket is empty (the server as a whole may be idle) — back off for
+	// the Retry-After the response carries.
+	CodeQuotaExceeded = "quota_exceeded"
+	CodeUnprocessable = "unprocessable"
+	CodeUnavailable   = "unavailable"
+	CodeDeadline      = "deadline"
+	CodeInternal      = "internal"
 )
 
 // HealthDoc is the /healthz body: liveness plus the load gauges a fleet
-// coordinator uses to pick workers.
+// coordinator or autoscaler uses to pick and size workers. The P95MS,
+// QuotaRejected and Store fields are additive (always safe to ignore).
 type HealthDoc struct {
 	Status   string `json:"status"`
 	InFlight int64  `json:"inflight"`
 	Queued   int64  `json:"queued"`
+	// P95MS is the 95th-percentile latency of recent /v1/* requests in
+	// milliseconds (0 until enough samples exist) — the autoscaler's
+	// per-worker load signal alongside Queued.
+	P95MS float64 `json:"p95_ms"`
+	// QuotaRejected counts quota rejections per tenant; only tenants
+	// that were actually rejected appear.
+	QuotaRejected map[string]uint64 `json:"quota_rejected,omitempty"`
+	// Store reports the persistent result store, when one is configured.
+	Store *StoreStatsDoc `json:"store,omitempty"`
+}
+
+// StoreStatsDoc is the persistent result store's health snapshot
+// (internal/store): lookup traffic plus on-disk shape.
+type StoreStatsDoc struct {
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Writes           uint64 `json:"writes"`
+	CorruptRecovered uint64 `json:"corrupt_recovered"`
+	Segments         int    `json:"segments"`
+	Keys             int    `json:"keys"`
+	Superseded       int    `json:"superseded"`
+	DiskBytes        int64  `json:"disk_bytes"`
 }

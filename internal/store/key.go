@@ -1,0 +1,56 @@
+package store
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Key derivation. A store key is the canonical identity of one result
+// document: the content address (the set fingerprint from
+// internal/analysis, which hashes period/deadline/wcet/m/k/offset per
+// task — θ is derived from the set, so the fingerprint covers it) joined
+// with every run-config field that can change a byte of the output. Two
+// requests share a key iff a correct server would answer them with
+// byte-identical documents, which is exactly the property that lets the
+// serving layer return stored bytes in place of a live run.
+//
+// The field order and formatting below are frozen: a formatting change
+// would orphan every record already on disk. Floats use
+// strconv.FormatFloat(x, 'g', -1, 64) — the shortest exact
+// representation, so equal float64s always key equally.
+
+// RunKey is the key of one /v1/simulate result (an mkss-run/v1
+// document): fingerprint + approach + scenario + fault-plan seed +
+// horizon + transient rate.
+func RunKey(fingerprint, approach, scenario string, seed uint64, horizonUS int64, transientRate float64) string {
+	return strings.Join([]string{
+		"run",
+		fingerprint,
+		approach,
+		scenario,
+		strconv.FormatUint(seed, 10),
+		strconv.FormatInt(horizonUS, 10),
+		strconv.FormatFloat(transientRate, 'g', -1, 64),
+	}, "|")
+}
+
+// SweepUnitKey is the key of one sweep interval's row line — the unit of
+// work both the streaming /v1/sweep handler and the fleet coordinator
+// compute. offset is the interval's global IntervalOffset (its index in
+// the full logical sweep), which pins the per-interval seed derivation;
+// lo/hi are the interval's own bounds, not the enclosing request's.
+// approaches must already be canonical (repro.ParseApproach output), as
+// both producers' are.
+func SweepUnitKey(scenario string, seed uint64, setsPerInterval, maxCandidates int, lo, hi float64, offset int, approaches []string) string {
+	return strings.Join([]string{
+		"sweep",
+		scenario,
+		strconv.FormatUint(seed, 10),
+		strconv.Itoa(setsPerInterval),
+		strconv.Itoa(maxCandidates),
+		strconv.FormatFloat(lo, 'g', -1, 64),
+		strconv.FormatFloat(hi, 'g', -1, 64),
+		strconv.Itoa(offset),
+		strings.Join(approaches, ","),
+	}, "|")
+}

@@ -17,10 +17,15 @@
 # (mkservd on an ephemeral port driven by an mkload burst, with a
 # graceful-drain shutdown check), the estimate smoke (the analytical
 # twin's GET /v1/estimate fast path under load, p99 asserted
-# sub-25ms, and refine=true checked byte-identical to /v1/simulate), and
-# the fleet smoke (a distributed mkfleet sweep over two workers, one
+# sub-25ms, and refine=true checked byte-identical to /v1/simulate), the
+# fleet smoke (a distributed mkfleet sweep over two workers, one
 # killed mid-run, checked byte-identical against the in-process
-# reference). mklint runs even in -fast mode: the lint pass is cheap.
+# reference), the store smoke (a cold mkservd run fills the persistent
+# result store, a restarted server re-answers the same requests purely
+# from disk — byte-identical, zero misses), and the autoscale smoke (a
+# standalone elastic pool grows above its baseline under an mkload
+# -distinct burst and drains back to min afterwards). mklint runs even
+# in -fast mode: the lint pass is cheap.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -157,6 +162,85 @@ if [ "$fast" = 0 ]; then
   cmp "$tmp/fleet_rows.jsonl" "$tmp/local_rows.jsonl"
   kill "$w1"
   echo "BENCH_fleet.json written to $tmp (CI uploads this as an artifact)"
+
+  step "store smoke (persistent result store across a restart)"
+  # Cold run fills the store; the restarted server must answer the same
+  # requests purely from disk — byte-identical bodies, zero misses.
+  simreq='{"set":{"tasks":[{"period_ms":5,"deadline_ms":4,"wcet_ms":3,"m":2,"k":4},{"period_ms":10,"deadline_ms":10,"wcet_ms":3,"m":1,"k":2}]},"approach":"selective","scenario":"permanent","seed":42,"horizon_ms":20}'
+  sweepreq='{"scenario":"both","seed":7,"sets_per_interval":2,"max_candidates":40,"lo":0.3,"hi":0.6,"approaches":["st"]}'
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/st1.addr" -store "$tmp/store" -q \
+    > "$tmp/st1.log" 2>&1 &
+  std=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/st1.addr" ] && break; sleep 0.1; done
+  saddr=$(cat "$tmp/st1.addr")
+  curl -sf -X POST "http://$saddr/v1/simulate" -H 'Content-Type: application/json' \
+    -d "$simreq" > "$tmp/cold_sim.json"
+  curl -sf -X POST "http://$saddr/v1/sweep" -H 'Content-Type: application/json' \
+    -d "$sweepreq" > "$tmp/cold_sweep.jsonl"
+  kill -TERM "$std"
+  wait "$std"
+  "$tmp/mkservd" -addr 127.0.0.1:0 -addrfile "$tmp/st2.addr" -store "$tmp/store" -q \
+    > "$tmp/st2.log" 2>&1 &
+  std=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/st2.addr" ] && break; sleep 0.1; done
+  saddr=$(cat "$tmp/st2.addr")
+  curl -sf -X POST "http://$saddr/v1/simulate" -H 'Content-Type: application/json' \
+    -d "$simreq" > "$tmp/warm_sim.json"
+  curl -sf -X POST "http://$saddr/v1/sweep" -H 'Content-Type: application/json' \
+    -d "$sweepreq" > "$tmp/warm_sweep.jsonl"
+  cmp "$tmp/cold_sim.json" "$tmp/warm_sim.json"
+  # The sweep "done" line carries wall-clock timing; rows are the contract.
+  grep '"type":"row"' "$tmp/cold_sweep.jsonl" > "$tmp/cold_rows.jsonl"
+  grep '"type":"row"' "$tmp/warm_sweep.jsonl" > "$tmp/warm_rows.jsonl"
+  cmp "$tmp/cold_rows.jsonl" "$tmp/warm_rows.jsonl"
+  curl -sf "http://$saddr/healthz" > "$tmp/STORE_stats.json"
+  grep -q '"hits":4' "$tmp/STORE_stats.json"     # 1 simulate + 3 sweep units
+  grep -q '"misses":0' "$tmp/STORE_stats.json"   # nothing recomputed
+  kill -TERM "$std"
+  wait "$std"
+  echo "STORE_stats.json written to $tmp (CI uploads this as an artifact)"
+
+  step "autoscale smoke (elastic pool grows under burst, drains to min)"
+  "$tmp/mkfleet" -pool -min 1 -max 3 -worker-inflight 1 \
+    -scale-interval 200ms -scale-cooldown 500ms \
+    -pool-addrfile "$tmp/pool.addr" -pool-status "$tmp/pool.json" \
+    2> "$tmp/pool.log" &
+  poold=$!
+  for _ in $(seq 1 100); do [ -s "$tmp/pool.addr" ] && break; sleep 0.1; done
+  paddr=$(cat "$tmp/pool.addr")
+  # -distinct defeats coalescing and the store, and the long horizon makes
+  # each run tens of milliseconds, so the burst saturates the single-slot
+  # baseline worker and builds real queue depth.
+  "$tmp/mkload" -addr "$paddr" -duration 3s -c 12 -mix simulate=1 -distinct \
+    -horizon 200000 -out "$tmp/BENCH_pool.json" -q &
+  loadpid=$!
+  grew=0
+  for _ in $(seq 1 100); do
+    size=$(sed -nE 's/.*"size":([0-9]+).*/\1/p' "$tmp/pool.json" 2>/dev/null || true)
+    if [ -n "$size" ] && [ "$size" -gt 1 ]; then grew=1; break; fi
+    sleep 0.1
+  done
+  wait "$loadpid"
+  if [ "$grew" = 0 ]; then
+    echo "pool never scaled above the baseline under burst" >&2
+    cat "$tmp/pool.log" >&2
+    exit 1
+  fi
+  drained=0
+  for _ in $(seq 1 200); do
+    size=$(sed -nE 's/.*"size":([0-9]+).*/\1/p' "$tmp/pool.json" 2>/dev/null || true)
+    if [ "$size" = 1 ]; then drained=1; break; fi
+    sleep 0.1
+  done
+  if [ "$drained" = 0 ]; then
+    echo "pool never drained back to min after the burst" >&2
+    cat "$tmp/pool.log" >&2
+    exit 1
+  fi
+  grep -q 'pool scaling up' "$tmp/pool.log"
+  grep -q 'pool scaling down' "$tmp/pool.log"
+  kill -TERM "$poold"
+  wait "$poold"
 fi
 
 printf '\nall checks passed\n'
