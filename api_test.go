@@ -62,7 +62,7 @@ func TestLoadSetLargeFiniteValuesAccepted(t *testing.T) {
 }
 
 func TestParseApproachCanonicalTable(t *testing.T) {
-	all := []Approach{ST, DP, Greedy, Selective, DPBackground}
+	all := []Approach{ST, DP, Greedy, Selective, DPBackground, DBP}
 	for _, a := range all {
 		name := a.String()
 		// String → Parse round-trip, case-insensitively.
@@ -97,6 +97,7 @@ func TestParseApproachCanonicalTable(t *testing.T) {
 		"st": ST, "dp": DP, "greedy": Greedy, "selective": Selective,
 		"sel": Selective, "dp-background": DPBackground, "dpbg": DPBackground,
 		"dp_background": DPBackground, "MKSS_selective": Selective,
+		"dbp": DBP, "distance": DBP, "mkss-dbp": DBP, "MKSS_DBP": DBP,
 	}
 	for in, want := range aliases {
 		got, err := ParseApproach(in)

@@ -1,30 +1,36 @@
-// Package core implements the paper's scheduling approaches as sim.Policy
-// plug-ins:
+// Package core names the paper's scheduling approaches and glues them to
+// the policy registry. The concrete sim.Policy implementations live under
+// internal/sim/policy ({static, dynamic, dbp} — see that package's doc
+// for the plug-in contract); core owns the Approach enum, the canonical
+// name table behind every flag parser and report, and the Options pass-
+// through, so callers keep one stable construction surface while policies
+// come and go underneath by registration:
 //
 //   - MKSS_ST: static R-pattern, main and backup copies of every mandatory
 //     job run concurrently without procrastination — the evaluation's
 //     energy reference (§V).
 //   - MKSS_DP: static R-pattern with the dual-priority/preference-oriented
-//     procrastination of Haque et al. [7] and Begam et al. [8]: mains
-//     alternate across the two processors, each backup runs on the other
-//     processor postponed by the promotion interval Yi = Di − Ri, and a
-//     completed main cancels its backup (§III, Figure 1).
+//     procrastination of Haque et al. [7] and Begam et al. [8] (§III,
+//     Figure 1).
 //   - Greedy: the §III straw-man — dynamic (m,k) patterns with *all*
 //     optional jobs executed greedily on the primary processor (Figure 3).
 //   - MKSS_selective: the paper's contribution (Algorithm 1) — dynamic
 //     patterns where only optional jobs with flexibility degree 1 are
 //     selected, alternating between the processors, with backups postponed
 //     by the offline release-postponement intervals θi (§IV).
+//   - MKSS_DP-background and MKSS-DBP: extensions beyond the paper (see
+//     the constants below).
 package core
 
 import (
 	"fmt"
 	"strings"
 
-	"repro/internal/analysis"
-	"repro/internal/pattern"
 	"repro/internal/sim"
-	"repro/internal/timeu"
+	"repro/internal/sim/policy"
+	"repro/internal/sim/policy/dbp"
+	"repro/internal/sim/policy/dynamic"
+	"repro/internal/sim/policy/static"
 )
 
 // Approach enumerates the schemes compared in Figure 6 (plus the §III
@@ -47,22 +53,31 @@ const (
 	// DP baseline (which Figure 1's 15-unit schedule confirms) saves
 	// over textbook dual-priority.
 	DPBackground
+	// DBP is distance-based priority, the canonical dynamic (m,k)
+	// policy (Hamdaoui & Ramanathan; Goossens arXiv:0805.0200) the paper
+	// never compares against: every job is prioritized by its distance
+	// to failure, jobs one miss from violation are promoted to
+	// standby-sparing mandatory pairs, and nothing is skipped outright.
+	DBP
 )
 
 // approachNames is the one canonical table behind String, ParseApproach
 // and the text (un)marshalers: the canonical report name first, then the
 // accepted aliases. Matching is case-insensitive; every cmd/ flag parser
-// goes through ParseApproach rather than keeping its own switch.
+// goes through ParseApproach rather than keeping its own switch. The
+// canonical names are the policy registry's registration names, so an
+// Approach is constructible iff it is parseable.
 var approachNames = []struct {
 	a         Approach
 	canonical string
 	aliases   []string
 }{
-	{ST, "MKSS-ST", []string{"st"}},
-	{DP, "MKSS-DP", []string{"dp"}},
-	{Greedy, "MKSS-greedy", []string{"greedy"}},
-	{Selective, "MKSS-selective", []string{"selective", "sel"}},
-	{DPBackground, "MKSS-DP-background", []string{"dp-background", "dpbg"}},
+	{ST, static.NameST, []string{"st"}},
+	{DP, static.NameDP, []string{"dp"}},
+	{Greedy, dynamic.NameGreedy, []string{"greedy"}},
+	{Selective, dynamic.NameSelective, []string{"selective", "sel"}},
+	{DPBackground, static.NameDPBackground, []string{"dp-background", "dpbg"}},
+	{DBP, dbp.Name, []string{"dbp", "distance"}},
 }
 
 func (a Approach) String() string {
@@ -127,54 +142,22 @@ func ApproachNames() []string {
 func Approaches() []Approach { return []Approach{ST, DP, Greedy, Selective} }
 
 // Extensions lists the approaches this repository adds beyond the paper.
-func Extensions() []Approach { return []Approach{DPBackground} }
+func Extensions() []Approach { return []Approach{DPBackground, DBP} }
 
 // Options tunes policy construction; the zero value reproduces the paper.
-type Options struct {
-	// Pattern is the static partition used by ST/DP and for the θ
-	// analysis; the paper uses the R-pattern.
-	Pattern pattern.Kind
-	// HyperperiodCap bounds the θ analysis (see postpone.Options).
-	HyperperiodCap timeu.Time
-	// NoAlternation disables the selective scheme's primary/spare
-	// alternation of eligible optional jobs (ablation: everything goes to
-	// the primary's OJQ).
-	NoAlternation bool
-	// FDThreshold is the flexibility-degree eligibility threshold of the
-	// selective scheme; optional jobs with 1 <= FD <= FDThreshold are
-	// selected. Zero means the paper's value, 1. (Ablation knob.)
-	FDThreshold int
-	// UsePromotionForTheta makes the selective scheme postpone backups by
-	// Yi instead of θi (ablation: isolates the benefit of Defs. 2–5).
-	UsePromotionForTheta bool
-	// Offline, when non-nil, supplies memoized offline analyses (promotion
-	// intervals, θ, pattern tables) for the set under simulation, so
-	// repeated runs of the same set skip the per-Init recomputation. The
-	// products must have been derived with the same Pattern and
-	// HyperperiodCap, from a set fingerprint-identical to the one
-	// simulated; repro.Runner guarantees both.
-	Offline *analysis.Products
-}
+// The struct is defined by the policy registry (internal/sim/policy) and
+// aliased here so existing call sites keep compiling.
+type Options = policy.Options
 
-// New constructs the sim.Policy for an approach.
+// New constructs the sim.Policy for an approach, by canonical name, from
+// the policy registry.
 func New(a Approach, opts Options) (sim.Policy, error) {
-	if opts.FDThreshold == 0 {
-		opts.FDThreshold = 1
+	for _, row := range approachNames {
+		if row.a == a {
+			return policy.New(row.canonical, opts)
+		}
 	}
-	switch a {
-	case ST:
-		return &stPolicy{opts: opts}, nil
-	case DP:
-		return &dpPolicy{opts: opts}, nil
-	case Greedy:
-		return &greedyPolicy{opts: opts}, nil
-	case Selective:
-		return &selectivePolicy{opts: opts}, nil
-	case DPBackground:
-		return &dpPolicy{opts: opts, background: true}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown approach %d", int(a))
-	}
+	return nil, fmt.Errorf("core: unknown approach %d", int(a))
 }
 
 // MustNew is New for approaches known at compile time.

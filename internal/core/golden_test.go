@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/task"
-	"repro/internal/timeu"
 )
 
 // Golden schedule tests: beyond matching the paper's energy totals, these
@@ -118,35 +117,5 @@ func TestGoldenFig3GreedySchedule(t *testing.T) {
 	}
 }
 
-// TestGoldenFig5PostponedBackups verifies the selective policy actually
-// *applies* the Fig. 5 postponement intervals at runtime (the numeric θ
-// derivation itself is covered in internal/postpone): on the Fig. 5 set
-// the policy must postpone τ1 backups by 7 ms and τ2 backups by 4 ms,
-// and by only Y2 = 1 ms under the θ=Y ablation.
-func TestGoldenFig5PostponedBackups(t *testing.T) {
-	s := task.NewSet(task.New(0, 10, 10, 3, 2, 3), task.New(1, 15, 15, 8, 1, 2))
-	p := MustNew(Selective, Options{}).(*selectivePolicy)
-	eng, err := sim.New(s, p, sim.Config{Horizon: timeu.FromMillis(30)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if p.theta(0) != timeu.FromMillis(7) || p.theta(1) != timeu.FromMillis(4) {
-		t.Errorf("policy thetas = %v, %v; want 7ms, 4ms", p.theta(0), p.theta(1))
-	}
-	// Under the theta=Y ablation the same policy must postpone τ2 by
-	// only 1ms.
-	py := MustNew(Selective, Options{UsePromotionForTheta: true}).(*selectivePolicy)
-	eng2, err := sim.New(s, py, sim.Config{Horizon: timeu.FromMillis(30)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := eng2.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if py.theta(1) != timeu.FromMillis(1) {
-		t.Errorf("Y-ablation theta2 = %v, want 1ms", py.theta(1))
-	}
-}
+// The Fig. 5 runtime-postponement check (selective θ application) lives
+// with the implementation, in internal/sim/policy/dynamic/theta_test.go.

@@ -50,23 +50,8 @@ func TestPolicyNames(t *testing.T) {
 	}
 }
 
-func TestFpLess(t *testing.T) {
-	tk := task.New(0, 10, 10, 2, 1, 2)
-	tk2 := task.New(1, 10, 10, 2, 1, 2)
-	a := task.NewJob(tk, 1, task.Mandatory)
-	b := task.NewJob(tk2, 1, task.Mandatory)
-	if !fpLess(a, b) || fpLess(b, a) {
-		t.Error("task priority ordering wrong")
-	}
-	c := task.NewJob(tk, 2, task.Mandatory)
-	if !fpLess(a, c) {
-		t.Error("index ordering wrong")
-	}
-	bk := task.NewBackup(tk, 1, 0)
-	if !fpLess(a, bk) || fpLess(bk, a) {
-		t.Error("main-before-backup tiebreak wrong")
-	}
-}
+// The FP tie-break ordering test of the shared FPLess helper lives with
+// the helper, in internal/sim/policy/registry_test.go.
 
 func run(t *testing.T, s *task.Set, p sim.Policy, horizonMS float64, faults *fault.Plan) *sim.Result {
 	t.Helper()
@@ -398,15 +383,20 @@ func TestDPBackgroundPromotionPreempts(t *testing.T) {
 
 func TestExtensionsList(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 1 || exts[0] != DPBackground {
+	if len(exts) != 2 || exts[0] != DPBackground || exts[1] != DBP {
 		t.Errorf("Extensions() = %v", exts)
 	}
 	if DPBackground.String() != "MKSS-DP-background" {
 		t.Errorf("DPBackground string = %q", DPBackground.String())
 	}
-	p := MustNew(DPBackground, Options{})
-	if p.Name() != "MKSS-DP-background" {
-		t.Errorf("policy name = %q", p.Name())
+	if DBP.String() != "MKSS-DBP" {
+		t.Errorf("DBP string = %q", DBP.String())
+	}
+	for _, a := range exts {
+		p := MustNew(a, Options{})
+		if p.Name() != a.String() {
+			t.Errorf("policy name = %q, want %q", p.Name(), a)
+		}
 	}
 }
 
@@ -429,47 +419,6 @@ func TestGreedyUnderPermanentFault(t *testing.T) {
 	}
 }
 
-// TestSelectiveLessBands: the MJQ/OJQ band ordering of Algorithm 1,
-// exercised directly.
-func TestSelectiveLessBands(t *testing.T) {
-	p := MustNew(Selective, Options{}).(*selectivePolicy)
-	tk0 := task.New(0, 10, 10, 2, 1, 2)
-	tk1 := task.New(1, 10, 10, 2, 1, 2)
-	mand := task.NewJob(tk1, 1, task.Mandatory) // lower FP priority but MJQ
-	opt := task.NewJob(tk0, 1, task.Optional)   // higher FP priority but OJQ
-	if !p.Less(0, mand, opt) {
-		t.Error("MJQ job must beat OJQ job regardless of task priority")
-	}
-	if p.Less(0, opt, mand) {
-		t.Error("OJQ job must not beat MJQ job")
-	}
-	opt2 := task.NewJob(tk1, 1, task.Optional)
-	if !p.Less(0, opt, opt2) {
-		t.Error("within the OJQ, FP order must hold")
-	}
-}
-
-// TestGreedyLessBands: mandatory band, then (FD, release, FP).
-func TestGreedyLessBands(t *testing.T) {
-	p := MustNew(Greedy, Options{}).(*greedyPolicy)
-	tk0 := task.New(0, 10, 10, 2, 1, 2)
-	tk1 := task.New(1, 10, 10, 2, 1, 2)
-	mand := task.NewJob(tk1, 1, task.Mandatory)
-	opt := task.NewJob(tk0, 1, task.Optional)
-	opt.FD = 1
-	if !p.Less(0, mand, opt) || p.Less(0, opt, mand) {
-		t.Error("mandatory band ordering wrong")
-	}
-	// Same FD: earlier release first.
-	lateOpt := task.NewJob(tk0, 2, task.Optional)
-	lateOpt.FD = 1
-	if !p.Less(0, opt, lateOpt) {
-		t.Error("FIFO within equal FD wrong")
-	}
-	// Same FD and release: FP tiebreak.
-	opt2 := task.NewJob(tk1, 1, task.Optional)
-	opt2.FD = 1
-	if !p.Less(0, opt, opt2) {
-		t.Error("FP tiebreak within OJQ wrong")
-	}
-}
+// The MJQ/OJQ band-ordering tests of the selective and greedy Less
+// methods live with the implementations, in
+// internal/sim/policy/dynamic/bands_test.go.

@@ -74,6 +74,22 @@ type Answer struct {
 	Exact bool
 }
 
+// UnsupportedError reports that a backend has no model for the requested
+// policy. It exists so an approximate backend can refuse honestly rather
+// than answer from a model that does not describe the policy at all: the
+// twin's closed forms are built on the static-pattern premise and cannot
+// speak for a dynamically promoted schedule like MKSS-DBP. Serving maps
+// it to a structured 501 so clients can branch to refine=true (the
+// simulator handles every registered policy).
+type UnsupportedError struct {
+	Backend string
+	Policy  string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("estimate: backend %q has no model for policy %q; refine with the simulator", e.Backend, e.Policy)
+}
+
 // Estimator is one backend. Implementations must be safe for concurrent
 // use; serving fans estimate traffic out over one shared instance.
 type Estimator interface {

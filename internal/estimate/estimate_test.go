@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -164,6 +165,29 @@ func TestExecFraction(t *testing.T) {
 			if f < float64(m)/float64(k)-1e-12 || f > 1+1e-12 {
 				t.Errorf("execFraction(%d,%d) = %v out of [m/k, 1]", m, k, f)
 			}
+		}
+	}
+}
+
+// The twin must refuse policies its closed forms do not model — a typed
+// UnsupportedError, never a zero-activity estimate that looks plausible.
+func TestTwinUnsupportedDBP(t *testing.T) {
+	r := repro.NewRunner(repro.RunnerConfig{})
+	twin := NewTwin(r)
+	_, err := twin.Estimate(context.Background(), Request{
+		Set: paperSet(), Approach: repro.DBP, HorizonMS: 100,
+	})
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("twin answered for DBP with err=%v; want UnsupportedError", err)
+	}
+	if ue.Backend != "twin" || ue.Policy != "MKSS-DBP" {
+		t.Errorf("error identifies %q/%q, want twin/MKSS-DBP", ue.Backend, ue.Policy)
+	}
+	// Every modeled approach still answers.
+	for _, a := range append(repro.Approaches(), repro.DPBackground) {
+		if _, err := twin.Estimate(context.Background(), Request{Set: paperSet(), Approach: a, HorizonMS: 100}); err != nil {
+			t.Errorf("%v: %v", a, err)
 		}
 	}
 }

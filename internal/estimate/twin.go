@@ -89,8 +89,25 @@ func NewTwin(r *repro.Runner) *Twin { return &Twin{runner: r} }
 func (t *Twin) Name() string { return "twin" }
 func (t *Twin) Exact() bool  { return false }
 
+// modeled reports whether the twin's closed forms cover the approach.
+// The switch mirrors activePerProc exactly: an approach absent from both
+// must fail loudly, never fall through to a zero-active estimate.
+func (t *Twin) modeled(a repro.Approach) bool {
+	switch a {
+	case repro.ST, repro.DP, repro.DPBackground, repro.Selective, repro.Greedy:
+		return true
+	}
+	return false
+}
+
 // Estimate answers one query in closed form.
 func (t *Twin) Estimate(_ context.Context, req Request) (*Answer, error) {
+	if !t.modeled(req.Approach) {
+		// MKSS-DBP (and any future dynamic policy) schedules from the
+		// realized k-sequences; the static-pattern profile underneath the
+		// closed forms says nothing about it.
+		return nil, &UnsupportedError{Backend: t.Name(), Policy: req.Approach.String()}
+	}
 	s := req.Set
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -35,8 +35,9 @@ type depLayer struct {
 
 // depLayers is the module's layer table, highest layers importing
 // downward. Same-rank entries are peers: neither may import the other.
-// ROADMAP item 5's planned internal/sim/{policy,power,faultinj}
-// extraction lands inside the internal/sim entry automatically.
+// internal/sim/policy has its own entry above the engine: policy
+// packages import the sim kernel (and the memoized analysis products),
+// never the reverse — the deny edge below names the rule explicitly.
 var depLayers = []depLayer{
 	{"internal/timeu", 10, "time utils"},
 	{"internal/stats", 10, "statistics"},
@@ -50,6 +51,7 @@ var depLayers = []depLayer{
 	{"internal/sim", 40, "simulation engine"},
 	{"internal/trace", 45, "trace capture"},
 	{"internal/analysis", 45, "cached analysis"},
+	{"internal/sim/policy", 48, "scheduling policies"},
 	{"internal/core", 50, "paper algorithms"},
 	{"internal/experiment", 60, "experiment harness"},
 	{"", 70, "public repro API"},
@@ -66,15 +68,23 @@ var depLayers = []depLayer{
 
 // depDeny is one explicit deny edge: packages under from must not import
 // packages under to, regardless of rank, unless the importee is under
-// except.
+// except or the importer is under exceptFrom.
 type depDeny struct {
-	from   string
-	to     string // "" denies every module-internal import
-	except string // "" = no exception
-	why    string
+	from string
+	to   string // "" denies every module-internal import
+	// except exempts importees; exceptFrom exempts importers (it carves a
+	// subtree out of from — e.g. the policy packages under internal/sim
+	// are not the kernel the sim→policy edge protects).
+	except     string // "" = no exception
+	exceptFrom string // "" = no exception
+	why        string
 }
 
 var depDenies = []depDeny{
+	{
+		from: "internal/sim", exceptFrom: "internal/sim/policy", to: "internal/sim/policy",
+		why: "the engine kernel must not know concrete policies; register new policies from internal/sim/policy sub-packages instead",
+	},
 	{
 		from: "internal/serve/wire", to: "internal/sim",
 		why: "wire is a pure schema package; translate engine types in internal/serve instead",
@@ -165,6 +175,9 @@ func runDepdag(p *Pass) {
 			}
 			for _, d := range depDenies {
 				if !underPath(fromRel, d.from) {
+					continue
+				}
+				if d.exceptFrom != "" && underPath(fromRel, d.exceptFrom) {
 					continue
 				}
 				if d.to != "" && !underPath(toRel, d.to) {

@@ -157,6 +157,33 @@ func TestDepdagStoreDenyEdge(t *testing.T) {
 	t.Fatalf("seeded internal/store → internal/sim import was not rejected; got %v", diags)
 }
 
+// TestDepdagPolicyDenyEdge pins the policy subsystem's one-way rule by
+// name: the fixture's internal/sim package imports its own policy
+// subtree, and the explicit kernel→policy deny edge rejects it (on top
+// of the rank inversion), while the fixture's policy package itself —
+// which sits under internal/sim by path — draws no diagnostic, proving
+// the exceptFrom carve-out keeps the edge one-way rather than banning
+// the whole subtree.
+func TestDepdagPolicyDenyEdge(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "depdag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, Options{Analyzers: []*Analyzer{Depdag}})
+	found := false
+	for _, d := range diags {
+		if strings.HasPrefix(d.File, "internal/sim/policy/") {
+			t.Errorf("policy package drew a diagnostic: %s", d)
+		}
+		if d.File == "internal/sim/sim.go" && strings.Contains(d.Message, "must not import fx/internal/sim/policy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded internal/sim → internal/sim/policy import was not rejected; got %v", diags)
+	}
+}
+
 // TestAllowMetaFixture runs the full registry so the directive machinery
 // itself is exercised: unknown rule names, missing reasons, stale allows
 // and unknown verbs are all diagnostics under the reserved "allow" rule.

@@ -1,0 +1,440 @@
+package rta
+
+import (
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// This file implements Goossens' exact schedulability test for DBP
+// (distance-based priority) scheduling of (m,k)-firm task sets
+// (arXiv:0805.0200), extended to the paper's two-processor
+// standby-sparing arrangement: a deterministic fault-free walk of the
+// DBP schedule whose state — the concatenation of every task's sliding
+// k-window of outcomes — is sampled at hyperperiod boundaries. Because
+// the walk is deterministic and the per-boundary state space is finite
+// (∏ 2^ki), the trajectory must eventually revisit a state; if no (m,k)
+// violation occurred before the cycle closes, none ever will, and the
+// verdict is exact. Goossens' key observation carries over unchanged:
+// the verdict depends on the *initial* k-sequences, not just the task
+// parameters, which is what `mkablate -ksweep` measures.
+//
+// The walk is a deliberate mirror of the engine running the MKSS-DBP
+// policy (internal/sim/policy/dbp) with no faults injected: the same
+// same-instant ordering (completions, then deadlines, then releases,
+// then dispatch), the same distance rule (FlexibilityDegree + 1 at
+// release), the same promoted distance-1 tier running as main+θ-postponed
+// backup pairs, and the same rule that an optional copy unable to finish
+// by its deadline is never dispatched. The agreement is pinned by
+// randomized tests in the dbp policy package.
+
+// DBPConfig parameterizes DBPExact.
+type DBPConfig struct {
+	// Theta postpones task i's backup copies by Theta[i] (Eq. 3), as the
+	// MKSS-DBP policy does. Nil runs without backup copies — plain
+	// uniprocessor DBP, Goossens' original setting.
+	Theta []timeu.Time
+	// Init seeds task i's outcome window with Init[i], oldest to newest,
+	// recorded onto an all-effective window (so a row shorter than ki
+	// leaves the oldest positions effective). Nil rows (or a nil slice)
+	// mean the all-effective fresh start the simulator uses.
+	Init [][]bool
+	// Cap saturates the hyperperiod (see task.Set.Hyperperiod); zero
+	// means DefaultDBPCap. A saturated hyperperiod disables cycle
+	// detection: the verdict degrades to a bounded-horizon check.
+	Cap timeu.Time
+	// MaxHyperperiods bounds the walk when no cycle closes earlier; zero
+	// means DefaultDBPMaxHyperperiods.
+	MaxHyperperiods int
+}
+
+// DefaultDBPCap bounds the hyperperiod of the exact DBP walk; it matches
+// the θ analysis cap (postpone.DefaultHyperperiodCap).
+const DefaultDBPCap = 10 * timeu.Second
+
+// DefaultDBPMaxHyperperiods bounds the walk length. The reachable
+// k-window states of real task sets are a tiny fraction of the 2^Σki
+// worst case; across the randomized corpus cycles close within a handful
+// of hyperperiods.
+const DefaultDBPMaxHyperperiods = 64
+
+// DBPVerdict is the outcome of the exact test.
+type DBPVerdict struct {
+	// Schedulable reports that no task violates its (m,k) constraint —
+	// ever, when Exact; within the walked horizon otherwise.
+	Schedulable bool
+	// ViolationTask is the task whose window broke first, or -1.
+	ViolationTask int
+	// ViolationIndex is the 1-based job index whose outcome broke the
+	// window, or 0.
+	ViolationIndex int
+	// Transient and Cycle describe the reached orbit in hyperperiods:
+	// the walk enters a cycle of length Cycle after Transient boundary
+	// states. Zero when no cycle closed (violation found first, or the
+	// walk was inexact).
+	Transient, Cycle int
+	// Exact reports whether the verdict is a proof (a violation was
+	// found, or a violation-free cycle closed) rather than a
+	// bounded-horizon check (saturated hyperperiod, nonzero offsets, or
+	// exhausted walk budget).
+	Exact bool
+}
+
+// dbpJob is one job copy inside the walk.
+type dbpJob struct {
+	taskID, index  int
+	backup         bool
+	mandatory      bool
+	dist           int
+	release        timeu.Time
+	deadline       timeu.Time
+	remaining      timeu.Time
+	done, canceled bool
+}
+
+// dbpPair tracks settlement of one logical job.
+type dbpPair struct {
+	taskID, index int
+	dl            timeu.Time
+	copies        [2]*dbpJob
+	n             int
+	settled       bool
+}
+
+// dbpWalk is the mutable state of one exact-test run.
+type dbpWalk struct {
+	s       *task.Set
+	theta   []timeu.Time
+	hist    []*pattern.History
+	nextIdx []int // next release index per task, 1-based
+
+	now   timeu.Time
+	live  [2][]*dbpJob
+	cur   [2]*dbpJob
+	open  []*dbpPair
+	pairs map[[2]int]*dbpPair
+
+	violated  bool
+	violTask  int
+	violIndex int
+}
+
+// DBPExact runs the exact DBP schedulability test. See the file comment
+// for semantics.
+func DBPExact(s *task.Set, cfg DBPConfig) DBPVerdict {
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultDBPCap
+	}
+	if cfg.MaxHyperperiods <= 0 {
+		cfg.MaxHyperperiods = DefaultDBPMaxHyperperiods
+	}
+	h := s.Hyperperiod(cfg.Cap)
+	verdict := DBPVerdict{ViolationTask: -1}
+	if h <= 0 {
+		return verdict
+	}
+	// Cycle detection needs boundary states to be comparable: every job
+	// released in [nH, (n+1)H) must settle by (n+1)H, which holds exactly
+	// for zero offsets with constrained deadlines and an unsaturated
+	// hyperperiod (each period divides h).
+	cyclic := true
+	for _, t := range s.Tasks {
+		if t.Offset != 0 || h%t.Period != 0 {
+			cyclic = false
+			break
+		}
+	}
+
+	w := &dbpWalk{
+		s:        s,
+		theta:    cfg.Theta,
+		hist:     make([]*pattern.History, s.N()),
+		nextIdx:  make([]int, s.N()),
+		pairs:    make(map[[2]int]*dbpPair),
+		violTask: -1,
+	}
+	for i, t := range s.Tasks {
+		hi := pattern.NewHistory(t.M, t.K)
+		if cfg.Init != nil && i < len(cfg.Init) {
+			for _, eff := range cfg.Init[i] {
+				hi.Record(eff)
+			}
+		}
+		w.hist[i] = hi
+		w.nextIdx[i] = 1
+	}
+
+	seen := map[string]int{w.stateKey(): 0}
+	for n := 1; n <= cfg.MaxHyperperiods; n++ {
+		if !w.runHyperperiod(timeu.Time(n) * h) {
+			// A window broke mid-hyperperiod: the verdict is an exact
+			// refutation regardless of cycles.
+			verdict.Schedulable = false
+			verdict.ViolationTask = w.violTask
+			verdict.ViolationIndex = w.violIndex
+			verdict.Exact = true
+			return verdict
+		}
+		if !cyclic {
+			continue
+		}
+		key := w.stateKey()
+		if at, ok := seen[key]; ok {
+			verdict.Schedulable = true
+			verdict.Transient = at
+			verdict.Cycle = n - at
+			verdict.Exact = true
+			return verdict
+		}
+		seen[key] = n
+	}
+	// Budget exhausted (or non-cyclic set): everything checked so far
+	// passed, but the verdict is not a proof.
+	verdict.Schedulable = true
+	return verdict
+}
+
+// stateKey renders the concatenated k-windows, the Goossens state.
+func (w *dbpWalk) stateKey() string {
+	var b strings.Builder
+	for _, h := range w.hist {
+		b.Grow(h.K() + 1)
+		for _, eff := range h.Snapshot() {
+			if eff {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// runHyperperiod advances the walk to the boundary instant `until`,
+// processing the boundary's completions and deadlines but not its
+// releases (they belong to the next hyperperiod). Returns false as soon
+// as a window breaks.
+func (w *dbpWalk) runHyperperiod(until timeu.Time) bool {
+	for {
+		w.completions()
+		w.deadlines()
+		if w.violated {
+			return false
+		}
+		if w.now >= until {
+			return true
+		}
+		w.releases()
+		w.dispatch()
+		next := w.nextEvent(until)
+		w.advance(next)
+	}
+}
+
+// completions settles pairs whose running copy finished. Fault-free walk:
+// every completion is effective and cancels the sibling copy.
+func (w *dbpWalk) completions() {
+	for p := 0; p < 2; p++ {
+		j := w.cur[p]
+		if j == nil || j.remaining > 0 {
+			continue
+		}
+		w.cur[p] = nil
+		j.done = true
+		w.removeLive(p, j)
+		pair := w.pairs[[2]int{j.taskID, j.index}]
+		if pair.settled {
+			continue
+		}
+		pair.settled = true
+		w.dropOpen(pair)
+		for _, c := range pair.copies[:pair.n] {
+			if c == j || c.done || c.canceled {
+				continue
+			}
+			c.canceled = true
+			for q := 0; q < 2; q++ {
+				if w.cur[q] == c {
+					w.cur[q] = nil
+				}
+				w.removeLive(q, c)
+			}
+		}
+		w.record(j.taskID, j.index, true)
+	}
+}
+
+// deadlines settles every open pair whose deadline has arrived as a miss.
+func (w *dbpWalk) deadlines() {
+	for i := 0; i < len(w.open); {
+		pair := w.open[i]
+		if pair.dl > w.now {
+			i++
+			continue
+		}
+		pair.settled = true
+		w.dropOpen(pair) // swaps the tail into position i; re-examine it
+		for _, c := range pair.copies[:pair.n] {
+			if c.done || c.canceled {
+				continue
+			}
+			c.canceled = true
+			for q := 0; q < 2; q++ {
+				if w.cur[q] == c {
+					w.cur[q] = nil
+				}
+				w.removeLive(q, c)
+			}
+		}
+		w.record(pair.taskID, pair.index, false)
+	}
+}
+
+// record mirrors the engine's settlement notification: the outcome enters
+// the task's window, and a broken window ends the walk.
+func (w *dbpWalk) record(taskID, index int, effective bool) {
+	w.hist[taskID].Record(effective)
+	if !effective && w.hist[taskID].Violated() && !w.violated {
+		w.violated = true
+		w.violTask = taskID
+		w.violIndex = index
+	}
+}
+
+// releases classifies and admits every job releasing now, in task order
+// (the engine's same-instant batching).
+func (w *dbpWalk) releases() {
+	for i := range w.s.Tasks {
+		t := w.s.Tasks[i]
+		for t.Release(w.nextIdx[i]) == w.now {
+			idx := w.nextIdx[i]
+			w.nextIdx[i]++
+			dist := w.hist[i].FlexibilityDegree() + 1
+			r := w.now
+			dl := t.AbsDeadline(idx)
+			pair := &dbpPair{taskID: i, index: idx, dl: dl}
+			w.pairs[[2]int{i, idx}] = pair
+			w.open = append(w.open, pair)
+			main := &dbpJob{
+				taskID: i, index: idx, dist: dist, mandatory: dist == 1,
+				release: r, deadline: dl, remaining: t.WCET,
+			}
+			pair.copies[pair.n] = main
+			pair.n++
+			w.live[0] = append(w.live[0], main)
+			if dist == 1 && w.theta != nil {
+				backup := &dbpJob{
+					taskID: i, index: idx, backup: true, dist: dist, mandatory: true,
+					release: r + w.theta[i], deadline: dl, remaining: t.WCET,
+				}
+				pair.copies[pair.n] = backup
+				pair.n++
+				w.live[1] = append(w.live[1], backup)
+			}
+		}
+	}
+}
+
+// less mirrors the MKSS-DBP policy's Less plus FP tie-breaks.
+func dbpLess(a, b *dbpJob) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.mandatory != b.mandatory {
+		return a.mandatory
+	}
+	if a.taskID != b.taskID {
+		return a.taskID < b.taskID
+	}
+	if a.index != b.index {
+		return a.index < b.index
+	}
+	return !a.backup && b.backup
+}
+
+// dispatch picks, per processor, the best eligible runnable copy.
+func (w *dbpWalk) dispatch() {
+	for p := 0; p < 2; p++ {
+		var best *dbpJob
+		for _, j := range w.live[p] {
+			if j.done || j.canceled || j.release > w.now {
+				continue
+			}
+			// An optional copy that can no longer finish is never
+			// dispatched (it settles as a miss at its deadline).
+			if !j.mandatory && w.now+j.remaining > j.deadline {
+				continue
+			}
+			if best == nil || dbpLess(j, best) {
+				best = j
+			}
+		}
+		w.cur[p] = best
+	}
+}
+
+// nextEvent returns the next instant anything can change, capped at the
+// hyperperiod boundary.
+func (w *dbpWalk) nextEvent(until timeu.Time) timeu.Time {
+	next := until
+	for i := range w.s.Tasks {
+		if r := w.s.Tasks[i].Release(w.nextIdx[i]); r < next {
+			next = r
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if j := w.cur[p]; j != nil {
+			if t := w.now + j.remaining; t < next {
+				next = t
+			}
+		}
+		// Postponed backups (and any copy not yet eligible) activate at
+		// their revised release.
+		for _, j := range w.live[p] {
+			if !j.done && !j.canceled && j.release > w.now && j.release < next {
+				next = j.release
+			}
+		}
+	}
+	for _, pair := range w.open {
+		if pair.dl < next {
+			next = pair.dl
+		}
+	}
+	return next
+}
+
+// advance moves time forward, burning demand on the running copies.
+func (w *dbpWalk) advance(t timeu.Time) {
+	delta := t - w.now
+	for p := 0; p < 2; p++ {
+		if j := w.cur[p]; j != nil {
+			j.remaining -= delta
+		}
+	}
+	w.now = t
+}
+
+func (w *dbpWalk) removeLive(p int, j *dbpJob) {
+	l := w.live[p]
+	for i, x := range l {
+		if x == j {
+			l[i] = l[len(l)-1]
+			w.live[p] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+func (w *dbpWalk) dropOpen(pair *dbpPair) {
+	for i, x := range w.open {
+		if x == pair {
+			w.open[i] = w.open[len(w.open)-1]
+			w.open = w.open[:len(w.open)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package rta
+
+import (
+	"testing"
+
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// A single light task is trivially schedulable under DBP and the walk
+// must prove it with a cycle of length 1 starting immediately: every
+// hyperperiod ends in the all-effective state.
+func TestDBPExactTrivial(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 3, 2, 4))
+	v := DBPExact(s, DBPConfig{})
+	if !v.Schedulable || !v.Exact {
+		t.Fatalf("trivial set not proven schedulable: %+v", v)
+	}
+	if v.Transient != 0 || v.Cycle != 1 {
+		t.Errorf("expected immediate length-1 cycle, got transient=%d cycle=%d", v.Transient, v.Cycle)
+	}
+	if v.ViolationTask != -1 {
+		t.Errorf("ViolationTask = %d, want -1", v.ViolationTask)
+	}
+}
+
+// Two tasks that each need the whole processor cannot both hold m == k;
+// the walk must refute with an exact verdict and name a culprit.
+func TestDBPExactOverload(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 8, 2, 2), task.New(1, 10, 10, 8, 2, 2))
+	v := DBPExact(s, DBPConfig{})
+	if v.Schedulable {
+		t.Fatalf("overloaded hard set declared schedulable: %+v", v)
+	}
+	if !v.Exact {
+		t.Errorf("a found violation is always exact: %+v", v)
+	}
+	if v.ViolationTask < 0 || v.ViolationIndex < 1 {
+		t.Errorf("violation not attributed: %+v", v)
+	}
+}
+
+// The same overload becomes feasible once the (m,k) constraints slacken:
+// DBP alternates the distance-1 promotions so each task meets 1-in-2.
+func TestDBPExactDegradedFeasible(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 8, 1, 2), task.New(1, 10, 10, 8, 1, 2))
+	v := DBPExact(s, DBPConfig{})
+	if !v.Schedulable || !v.Exact {
+		t.Fatalf("1-in-2 overload share should be DBP-schedulable: %+v", v)
+	}
+	if v.Cycle < 1 {
+		t.Errorf("exact schedulable verdict must report a cycle: %+v", v)
+	}
+}
+
+// Goossens' central point: the verdict depends on the initial
+// k-sequences, not just the task parameters. This set is schedulable
+// from the fresh all-effective start but a hostile seed — every window
+// already at its miss budget — pushes both tasks to distance 1
+// simultaneously and one of them must break.
+func TestDBPExactInitSensitivity(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 8, 1, 2), task.New(1, 10, 10, 8, 1, 2))
+	fresh := DBPExact(s, DBPConfig{})
+	if !fresh.Schedulable || !fresh.Exact {
+		t.Fatalf("fresh start should be schedulable: %+v", fresh)
+	}
+	hostile := DBPExact(s, DBPConfig{Init: [][]bool{{true, false}, {true, false}}})
+	if hostile.Schedulable {
+		t.Fatalf("hostile seed (both windows one miss from violation) should refute: %+v", hostile)
+	}
+	if !hostile.Exact {
+		t.Errorf("refutation must be exact: %+v", hostile)
+	}
+}
+
+// With θ postponement the spare runs backup copies for distance-1 jobs;
+// in the fault-free walk the main always completes first and cancels the
+// backup, so backups must never change the verdict — only the load they
+// would have imposed is modeled, and mains still own the primary.
+func TestDBPExactThetaBackupsPreserveVerdict(t *testing.T) {
+	s := task.NewSet(task.New(0, 5, 4, 3, 2, 4), task.New(1, 10, 10, 3, 1, 2))
+	plain := DBPExact(s, DBPConfig{})
+	theta := DBPExact(s, DBPConfig{Theta: []timeu.Time{timeu.FromMillis(1), timeu.FromMillis(4)}})
+	if plain.Schedulable != theta.Schedulable {
+		t.Fatalf("backup copies flipped the fault-free verdict: plain=%+v theta=%+v", plain, theta)
+	}
+	if !theta.Exact {
+		t.Errorf("theta walk should still close a cycle: %+v", theta)
+	}
+}
+
+// Nonzero offsets disable cycle detection; the walk degrades to a
+// bounded-horizon check and must say so via Exact=false (when it finds
+// no violation).
+func TestDBPExactOffsetsInexact(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 3, 2, 4))
+	s.Tasks[0].Offset = timeu.FromMillis(1)
+	v := DBPExact(s, DBPConfig{MaxHyperperiods: 4})
+	if !v.Schedulable {
+		t.Fatalf("light offset set reported violation: %+v", v)
+	}
+	if v.Exact {
+		t.Errorf("offset walk cannot be exact without boundary states: %+v", v)
+	}
+}
+
+// A saturated hyperperiod (co-prime ms-scale periods under a tiny cap)
+// likewise forces the bounded-horizon fallback.
+func TestDBPExactSaturatedCapInexact(t *testing.T) {
+	s := task.NewSet(task.New(0, 7, 7, 1, 1, 2), task.New(1, 11, 11, 1, 1, 2))
+	v := DBPExact(s, DBPConfig{Cap: timeu.FromMillis(20), MaxHyperperiods: 3})
+	if !v.Schedulable {
+		t.Fatalf("light co-prime set reported violation: %+v", v)
+	}
+	if v.Exact {
+		t.Errorf("saturated-cap walk must not claim exactness: %+v", v)
+	}
+}
+
+// The walk is deterministic: same inputs, same verdict, byte for byte.
+func TestDBPExactDeterministic(t *testing.T) {
+	s := task.NewSet(
+		task.New(0, 5, 4, 3, 2, 4),
+		task.New(1, 10, 10, 3, 1, 2),
+		task.New(2, 20, 15, 4, 1, 3),
+	)
+	cfg := DBPConfig{Init: [][]bool{{false}, nil, {true, false, true}}}
+	a := DBPExact(s, cfg)
+	for i := 0; i < 5; i++ {
+		if b := DBPExact(s, cfg); b != a {
+			t.Fatalf("verdict drifted on rerun %d: %+v vs %+v", i, b, a)
+		}
+	}
+}

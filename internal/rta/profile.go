@@ -24,9 +24,12 @@ type Profile struct {
 	// at the cap passed to MandatoryProfile.
 	Horizon timeu.Time
 	// Busy is the total mandatory execution demand released in
-	// [0, Horizon): Σ_i Count[i]·Ci. For constrained deadlines the
-	// synchronous schedule drains within the window when schedulable, so
-	// Busy + ΣGaps == Horizon.
+	// [0, Horizon): Σ_i Count[i]·Ci. When Horizon is an exact
+	// (m,k)-hyperperiod (not saturated at the cap) the constrained-
+	// deadline synchronous schedule drains within the window when
+	// schedulable, so Busy + ΣGaps == Horizon; a saturated horizon can
+	// cut through a busy interval, leaving Busy + ΣGaps slightly above
+	// Horizon as the walk lets the released jobs finish.
 	Busy timeu.Time
 	// Gaps are the idle intervals of the mandatory-only schedule, in
 	// order. The twin splits them into sleepable (≥ the DPD break-even

@@ -77,7 +77,16 @@ func TestMandatoryProfileMatchesFilter(t *testing.T) {
 		if prof.Busy != demand || count != demand {
 			return false
 		}
-		if prof.Schedulable {
+		// The tiling identity needs an exact hyperperiod: a horizon
+		// saturated at the cap can cut through a busy interval, and the
+		// walk lets released jobs drain past it.
+		exact := true
+		for _, t := range s.Tasks {
+			if prof.Horizon%(timeu.Time(t.K)*t.Period) != 0 {
+				exact = false
+			}
+		}
+		if prof.Schedulable && exact {
 			total := prof.Busy
 			for _, g := range prof.Gaps {
 				total += g

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
@@ -98,6 +99,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		TransientRate: req.TransientRate,
 	})
 	if err != nil {
+		var ue *estimate.UnsupportedError
+		if errors.As(err, &ue) {
+			// Structured 501: the backend has no model for this policy.
+			// Permanent for the pair — the client should refine (the
+			// simulator handles every registered policy) rather than retry.
+			s.rejectCode(w, http.StatusNotImplemented, 0, CodeUnsupportedBackend, err.Error())
+			return
+		}
 		s.fail(w, classifyCtx(err))
 		return
 	}

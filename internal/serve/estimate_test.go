@@ -182,6 +182,58 @@ func TestEstimateSimBackend(t *testing.T) {
 	}
 }
 
+// The twin has no model for dynamically promoted policies: asking it
+// about MKSS-DBP must be a structured 501 (never a silently wrong
+// zero-activity estimate), while refine=true falls through to the
+// simulator, which runs DBP like any other registered policy.
+func TestEstimateTwinUnsupportedDBP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, backend := range []string{"", "twin"} {
+		resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+			Set: paperSpec(), Approach: "dbp", HorizonMS: 100, Backend: backend,
+		})
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("backend %q: status %d, want 501 (%s)", backend, resp.StatusCode, body)
+		}
+		var doc ErrorDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("backend %q: body %q not an ErrorDoc: %v", backend, body, err)
+		}
+		if doc.Code != CodeUnsupportedBackend || doc.Error == "" {
+			t.Errorf("backend %q: error doc %+v, want code %q", backend, doc, CodeUnsupportedBackend)
+		}
+	}
+
+	// refine=true short-circuits to the simulation core before any backend
+	// is constructed: a full mkss-run/v1 document, byte-identical to
+	// /v1/simulate.
+	refined := readAll(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "dbp", HorizonMS: 100, Refine: true,
+	}))
+	direct := readAll(t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Set: paperSpec(), Approach: "dbp", HorizonMS: 100,
+	}))
+	if string(refined) != string(direct) {
+		t.Errorf("refine=true for dbp diverged from /v1/simulate:\n%s\nvs\n%s", refined, direct)
+	}
+	var run RunDoc
+	if err := json.Unmarshal(refined, &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Schema != RunSchema || run.Policy != "MKSS-DBP" {
+		t.Errorf("refined doc schema %q policy %q, want %q/MKSS-DBP", run.Schema, run.Policy, RunSchema)
+	}
+
+	// The sim backend models every policy; DBP answers exactly.
+	doc := decodeEstimate(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Set: paperSpec(), Approach: "dbp", HorizonMS: 100, Backend: "sim",
+	}))
+	if !doc.Exact || doc.Policy != "MKSS-DBP" {
+		t.Errorf("sim backend for dbp: %+v", doc)
+	}
+}
+
 func TestEstimateBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {

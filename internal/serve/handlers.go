@@ -47,15 +47,16 @@ type (
 
 // Error codes carried by ErrorDoc.Code (see wire for the vocabulary).
 const (
-	CodeBadRequest       = wire.CodeBadRequest
-	CodeMethodNotAllowed = wire.CodeMethodNotAllowed
-	CodeRateLimited      = wire.CodeRateLimited
-	CodeQueueFull        = wire.CodeQueueFull
-	CodeQuotaExceeded    = wire.CodeQuotaExceeded
-	CodeUnprocessable    = wire.CodeUnprocessable
-	CodeUnavailable      = wire.CodeUnavailable
-	CodeDeadline         = wire.CodeDeadline
-	CodeInternal         = wire.CodeInternal
+	CodeBadRequest         = wire.CodeBadRequest
+	CodeMethodNotAllowed   = wire.CodeMethodNotAllowed
+	CodeRateLimited        = wire.CodeRateLimited
+	CodeQueueFull          = wire.CodeQueueFull
+	CodeQuotaExceeded      = wire.CodeQuotaExceeded
+	CodeUnprocessable      = wire.CodeUnprocessable
+	CodeUnavailable        = wire.CodeUnavailable
+	CodeDeadline           = wire.CodeDeadline
+	CodeInternal           = wire.CodeInternal
+	CodeUnsupportedBackend = wire.CodeUnsupportedBackend
 )
 
 // codeForStatus maps an HTTP status onto the default error code; paths

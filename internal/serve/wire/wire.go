@@ -217,6 +217,11 @@ const (
 	CodeUnavailable   = "unavailable"
 	CodeDeadline      = "deadline"
 	CodeInternal      = "internal"
+	// CodeUnsupportedBackend is a 501: the requested estimate backend has
+	// no model for the requested policy (e.g. the analytical twin asked
+	// about MKSS-DBP). Permanent for that (backend, policy) pair — retry
+	// with refine=true or another backend, not later.
+	CodeUnsupportedBackend = "unsupported_backend"
 )
 
 // HealthDoc is the /healthz body: liveness plus the load gauges a fleet

@@ -4,9 +4,10 @@
 // the primary, backup on the spare), outcome settlement against the
 // (m,k) history, and fault injection. Scheduling decisions — which job
 // copy goes where, in which priority band, and when backups become
-// eligible — are delegated to a Policy; the four approaches of the paper
-// (MKSS_ST, MKSS_DP, the greedy dynamic scheme of §III, and the selective
-// Algorithm 1) are Policy implementations in internal/core.
+// eligible — are delegated to a Policy; concrete implementations (the
+// paper's four approaches plus extensions) live in the internal/sim/policy
+// registry tree and are constructed by name, so the kernel never imports
+// a policy.
 //
 // The engine is event-driven: between consecutive events (job releases,
 // completions, deadlines, postponed-release/promotion activations, the

@@ -1,12 +1,33 @@
-package core
+// Package dynamic implements the dynamic-pattern schemes of the paper:
+// the §III greedy straw-man and MKSS_selective (Algorithm 1). Both
+// classify each job at release from the task's sliding outcome window
+// (pattern.History) instead of a static pattern; the distance-based DBP
+// scheme lives in the sibling dbp package.
+package dynamic
 
 import (
 	"repro/internal/pattern"
 	"repro/internal/rta"
 	"repro/internal/sim"
+	"repro/internal/sim/policy"
 	"repro/internal/task"
 	"repro/internal/timeu"
 )
+
+// Canonical policy names, as registered and reported.
+const (
+	NameGreedy    = "MKSS-greedy"
+	NameSelective = "MKSS-selective"
+)
+
+func init() {
+	policy.Register(NameGreedy, func(opts policy.Options) sim.Policy {
+		return &greedyPolicy{opts: opts}
+	})
+	policy.Register(NameSelective, func(opts policy.Options) sim.Policy {
+		return &selectivePolicy{opts: opts}
+	})
+}
 
 // greedyPolicy is the §III straw-man: dynamic (m,k) patterns with *every*
 // optional job admitted for execution, greedily, on the primary processor
@@ -24,13 +45,13 @@ import (
 // task index. An optional job that can no longer complete by its deadline
 // is never dispatched (O11 in Figure 2 "will not be invoked at all").
 type greedyPolicy struct {
-	opts Options
+	opts policy.Options
 	ys   []timeu.Time
 	hist []*pattern.History
 	dead [sim.NumProcs]bool
 }
 
-func (p *greedyPolicy) Name() string { return Greedy.String() }
+func (p *greedyPolicy) Name() string { return NameGreedy }
 
 func (p *greedyPolicy) Init(e *sim.Engine) error {
 	set := e.Set()
@@ -39,12 +60,7 @@ func (p *greedyPolicy) Init(e *sim.Engine) error {
 	} else {
 		p.ys = rta.PromotionTimesSafe(set)
 	}
-	ms := make([]int, set.N())
-	ks := make([]int, set.N())
-	for i, t := range set.Tasks {
-		ms[i], ks[i] = t.M, t.K
-	}
-	p.hist = histories(ms, ks)
+	p.hist = policy.Histories(set)
 	return nil
 }
 
@@ -61,7 +77,7 @@ func (p *greedyPolicy) Release(e *sim.Engine, t task.Task, index int) {
 		e.Admit(e.NewBackup(t, index, p.ys[t.ID]), sim.Spare)
 		return
 	}
-	if staticMandatory(p.opts, t, index) {
+	if policy.StaticMandatory(p.opts, t, index) {
 		e.Counters().Demotions++
 	}
 	e.Counters().OptionalSelected++
@@ -75,7 +91,7 @@ func (p *greedyPolicy) Less(now timeu.Time, a, b *task.Job) bool {
 		return a.Class == task.Mandatory
 	}
 	if a.Class == task.Mandatory {
-		return fpLess(a, b)
+		return policy.FPLess(a, b)
 	}
 	if a.FD != b.FD {
 		return a.FD < b.FD
@@ -83,7 +99,7 @@ func (p *greedyPolicy) Less(now timeu.Time, a, b *task.Job) bool {
 	if a.Release != b.Release {
 		return a.Release < b.Release
 	}
-	return fpLess(a, b)
+	return policy.FPLess(a, b)
 }
 
 func (p *greedyPolicy) Runnable(now timeu.Time, j *task.Job) bool {

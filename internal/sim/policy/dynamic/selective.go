@@ -1,4 +1,4 @@
-package core
+package dynamic
 
 import (
 	"fmt"
@@ -6,6 +6,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/postpone"
 	"repro/internal/sim"
+	"repro/internal/sim/policy"
 	"repro/internal/task"
 	"repro/internal/timeu"
 )
@@ -35,7 +36,7 @@ import (
 // selected optional — routes to the survivor, and single mandatory copies
 // are no longer postponed (they are the only copy left).
 type selectivePolicy struct {
-	opts Options
+	opts policy.Options
 	an   *postpone.Analysis
 	hist []*pattern.History
 	// alt[i] counts task i's selected optional jobs; even → primary,
@@ -44,7 +45,7 @@ type selectivePolicy struct {
 	dead [sim.NumProcs]bool
 }
 
-func (p *selectivePolicy) Name() string { return Selective.String() }
+func (p *selectivePolicy) Name() string { return NameSelective }
 
 func (p *selectivePolicy) Init(e *sim.Engine) error {
 	set := e.Set()
@@ -62,12 +63,7 @@ func (p *selectivePolicy) Init(e *sim.Engine) error {
 		return fmt.Errorf("selective: %w", err)
 	}
 	p.an = an
-	ms := make([]int, set.N())
-	ks := make([]int, set.N())
-	for i, t := range set.Tasks {
-		ms[i], ks[i] = t.M, t.K
-	}
-	p.hist = histories(ms, ks)
+	p.hist = policy.Histories(set)
 	p.alt = make([]int, set.N())
 	return nil
 }
@@ -94,7 +90,7 @@ func (p *selectivePolicy) Release(e *sim.Engine, t task.Task, index int) {
 		e.Admit(main, sim.Primary)
 		e.Admit(e.NewBackup(t, index, p.theta(t.ID)), sim.Spare)
 	case fd <= p.opts.FDThreshold:
-		if staticMandatory(p.opts, t, index) {
+		if policy.StaticMandatory(p.opts, t, index) {
 			e.Counters().Demotions++
 		}
 		e.Counters().OptionalSelected++
@@ -107,7 +103,7 @@ func (p *selectivePolicy) Release(e *sim.Engine, t task.Task, index int) {
 		p.alt[t.ID]++
 		e.Admit(j, proc)
 	default:
-		if staticMandatory(p.opts, t, index) {
+		if policy.StaticMandatory(p.opts, t, index) {
 			e.Counters().Demotions++
 		}
 		e.SettleSkip(t.ID, index)
@@ -120,7 +116,7 @@ func (p *selectivePolicy) Less(now timeu.Time, a, b *task.Job) bool {
 	if a.Class != b.Class {
 		return a.Class == task.Mandatory
 	}
-	return fpLess(a, b)
+	return policy.FPLess(a, b)
 }
 
 func (p *selectivePolicy) Runnable(now timeu.Time, j *task.Job) bool {

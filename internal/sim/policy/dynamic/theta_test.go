@@ -1,0 +1,43 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/policy"
+	"repro/internal/task"
+	"repro/internal/timeu"
+)
+
+// TestGoldenFig5PostponedBackups verifies the selective policy actually
+// *applies* the Fig. 5 postponement intervals at runtime (the numeric θ
+// derivation itself is covered in internal/postpone): on the Fig. 5 set
+// the policy must postpone τ1 backups by 7 ms and τ2 backups by 4 ms,
+// and by only Y2 = 1 ms under the θ=Y ablation.
+func TestGoldenFig5PostponedBackups(t *testing.T) {
+	s := task.NewSet(task.New(0, 10, 10, 3, 2, 3), task.New(1, 15, 15, 8, 1, 2))
+	p := &selectivePolicy{opts: policy.Options{FDThreshold: 1}}
+	eng, err := sim.New(s, p, sim.Config{Horizon: timeu.FromMillis(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.theta(0) != timeu.FromMillis(7) || p.theta(1) != timeu.FromMillis(4) {
+		t.Errorf("policy thetas = %v, %v; want 7ms, 4ms", p.theta(0), p.theta(1))
+	}
+	// Under the theta=Y ablation the same policy must postpone τ2 by
+	// only 1ms.
+	py := &selectivePolicy{opts: policy.Options{FDThreshold: 1, UsePromotionForTheta: true}}
+	eng2, err := sim.New(s, py, sim.Config{Horizon: timeu.FromMillis(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if py.theta(1) != timeu.FromMillis(1) {
+		t.Errorf("Y-ablation theta2 = %v, want 1ms", py.theta(1))
+	}
+}

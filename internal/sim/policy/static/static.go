@@ -1,23 +1,36 @@
-package core
+// Package static implements the statically partitioned baselines of the
+// paper: MKSS_ST (concurrent main+backup execution of every R-pattern
+// mandatory job) and MKSS_DP (dual-priority procrastination), plus the
+// MKSS-DP-background extension. All three classify jobs offline from the
+// static (m,k) pattern; the dynamic schemes live in the sibling dynamic
+// and dbp packages.
+package static
 
 import (
 	"repro/internal/rta"
 	"repro/internal/sim"
+	"repro/internal/sim/policy"
 	"repro/internal/task"
 	"repro/internal/timeu"
 )
 
-// fpLess is plain fixed-priority ordering: lower task index first, then
-// earlier job, then mains before backups (the last tie can only occur
-// after a permanent fault migrates both copies onto one processor).
-func fpLess(a, b *task.Job) bool {
-	if a.TaskID != b.TaskID {
-		return a.TaskID < b.TaskID
-	}
-	if a.Index != b.Index {
-		return a.Index < b.Index
-	}
-	return a.Copy == task.Main && b.Copy == task.Backup
+// Canonical policy names, as registered and reported.
+const (
+	NameST           = "MKSS-ST"
+	NameDP           = "MKSS-DP"
+	NameDPBackground = "MKSS-DP-background"
+)
+
+func init() {
+	policy.Register(NameST, func(opts policy.Options) sim.Policy {
+		return &stPolicy{opts: opts}
+	})
+	policy.Register(NameDP, func(opts policy.Options) sim.Policy {
+		return &dpPolicy{opts: opts}
+	})
+	policy.Register(NameDPBackground, func(opts policy.Options) sim.Policy {
+		return &dpPolicy{opts: opts, background: true}
+	})
 }
 
 // stPolicy is MKSS_ST: static pattern, both copies of every mandatory job
@@ -26,16 +39,16 @@ func fpLess(a, b *task.Job) bool {
 // reference of §V: the two processors run near-identical schedules, so
 // backup cancellation saves almost nothing.
 type stPolicy struct {
-	opts Options
+	opts policy.Options
 	dead [sim.NumProcs]bool
 }
 
-func (p *stPolicy) Name() string { return ST.String() }
+func (p *stPolicy) Name() string { return NameST }
 
 func (p *stPolicy) Init(e *sim.Engine) error { return nil }
 
 func (p *stPolicy) Release(e *sim.Engine, t task.Task, index int) {
-	if !staticMandatory(p.opts, t, index) {
+	if !policy.StaticMandatory(p.opts, t, index) {
 		e.SettleSkip(t.ID, index)
 		return
 	}
@@ -50,7 +63,7 @@ func (p *stPolicy) Release(e *sim.Engine, t task.Task, index int) {
 	e.Admit(e.NewBackup(t, index, 0), sim.Spare)
 }
 
-func (p *stPolicy) Less(now timeu.Time, a, b *task.Job) bool { return fpLess(a, b) }
+func (p *stPolicy) Less(now timeu.Time, a, b *task.Job) bool { return policy.FPLess(a, b) }
 
 func (p *stPolicy) Runnable(now timeu.Time, j *task.Job) bool { return true }
 
@@ -66,7 +79,7 @@ func (p *stPolicy) OnPermanentFault(e *sim.Engine, dead int) { p.dead[dead] = tr
 // which it competes at its regular fixed priority. A main that completes
 // successfully cancels its backup, which is the entire energy play.
 type dpPolicy struct {
-	opts Options
+	opts policy.Options
 	ys   []timeu.Time
 	dead [sim.NumProcs]bool
 	// background switches to textbook dual-priority (the DPBackground
@@ -78,9 +91,9 @@ type dpPolicy struct {
 
 func (p *dpPolicy) Name() string {
 	if p.background {
-		return DPBackground.String()
+		return NameDPBackground
 	}
-	return DP.String()
+	return NameDP
 }
 
 func (p *dpPolicy) Init(e *sim.Engine) error {
@@ -97,7 +110,7 @@ func (p *dpPolicy) Init(e *sim.Engine) error {
 func (p *dpPolicy) mainProc(taskID int) int { return taskID % sim.NumProcs }
 
 func (p *dpPolicy) Release(e *sim.Engine, t task.Task, index int) {
-	if !staticMandatory(p.opts, t, index) {
+	if !policy.StaticMandatory(p.opts, t, index) {
 		e.SettleSkip(t.ID, index)
 		return
 	}
@@ -134,7 +147,7 @@ func (p *dpPolicy) Less(now timeu.Time, a, b *task.Job) bool {
 			return ba < bb
 		}
 	}
-	return fpLess(a, b)
+	return policy.FPLess(a, b)
 }
 
 func (p *dpPolicy) Runnable(now timeu.Time, j *task.Job) bool { return true }
@@ -142,13 +155,3 @@ func (p *dpPolicy) Runnable(now timeu.Time, j *task.Job) bool { return true }
 func (p *dpPolicy) OnSettled(e *sim.Engine, taskID, index int, effective bool) {}
 
 func (p *dpPolicy) OnPermanentFault(e *sim.Engine, dead int) { p.dead[dead] = true }
-
-// staticMandatory applies the static pattern classification shared by the
-// ST and DP baselines, via the memoized table when offline products are
-// attached.
-func staticMandatory(opts Options, t task.Task, index int) bool {
-	if opts.Offline != nil {
-		return opts.Offline.Mandatory(t.ID, index)
-	}
-	return patternMandatory(opts.Pattern, index, t.M, t.K)
-}

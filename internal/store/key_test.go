@@ -3,6 +3,7 @@ package store
 import (
 	"testing"
 
+	"repro"
 	"repro/internal/analysis"
 	"repro/internal/task"
 )
@@ -31,6 +32,28 @@ func TestRunKeyNoCollisions(t *testing.T) {
 	}
 	if base() != RunKey("fp-A", "MKSS-DP", "both", 2020, 100000, 1e-5) {
 		t.Error("RunKey is not deterministic")
+	}
+}
+
+// TestRunKeyDistinguishesAllApproaches locks the approach dimension
+// against the live registry: every pair of canonical policy names —
+// including the registered extensions like MKSS-DBP — must key
+// differently with all other fields equal.
+func TestRunKeyDistinguishesAllApproaches(t *testing.T) {
+	names := append(repro.Approaches(), repro.Extensions()...)
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 registered approaches, got %v", names)
+	}
+	seen := map[string]repro.Approach{}
+	for _, a := range names {
+		k := RunKey("fp-A", a.String(), "both", 2020, 100000, 1e-5)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("approaches %v and %v collide: key %q", prev, a, k)
+		}
+		seen[k] = a
+	}
+	if _, ok := seen[RunKey("fp-A", "MKSS-DBP", "both", 2020, 100000, 1e-5)]; !ok {
+		t.Error("MKSS-DBP missing from the approach key corpus")
 	}
 }
 
@@ -71,6 +94,8 @@ func TestSweepUnitKeyNoCollisions(t *testing.T) {
 		"hi":         SweepUnitKey("both", 2020, 3, 500, 0.3, 0.5, 2, as),
 		"offset":     SweepUnitKey("both", 2020, 3, 500, 0.3, 0.4, 3, as),
 		"approaches": SweepUnitKey("both", 2020, 3, 500, 0.3, 0.4, 2, []string{"MKSS-ST"}),
+		"approach swapped for DBP": SweepUnitKey("both", 2020, 3, 500, 0.3, 0.4, 2,
+			[]string{"MKSS-ST", "MKSS-DBP"}),
 	}
 	seen := map[string]string{base: "base"}
 	for what, k := range variants {

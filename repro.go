@@ -83,14 +83,17 @@ type (
 // BenchSchema is the version tag of BENCH_*.json documents.
 const BenchSchema = experiment.BenchSchema
 
-// The four approaches of the paper, plus the DP-background extension
-// (textbook dual-priority where backups also run before promotion).
+// The four approaches of the paper, plus two extensions: DP-background
+// (textbook dual-priority where backups also run before promotion) and
+// DBP (distance-based priority — every job prioritized by its distance
+// to (m,k) failure).
 const (
 	ST           = core.ST
 	DP           = core.DP
 	Greedy       = core.Greedy
 	Selective    = core.Selective
 	DPBackground = core.DPBackground
+	DBP          = core.DBP
 )
 
 // The three fault scenarios of Figure 6.
@@ -377,6 +380,11 @@ func LoadSetFile(path string) (*Set, error) {
 
 // Approaches lists every implemented approach.
 func Approaches() []Approach { return core.Approaches() }
+
+// Extensions lists the registered beyond-paper policies (DPBackground,
+// DBP, ...): selectable by name everywhere, excluded from the default
+// Fig-6 comparison.
+func Extensions() []Approach { return core.Extensions() }
 
 // ApproachNames lists the canonical approach names ("MKSS-ST", ...), for
 // flag usage strings.

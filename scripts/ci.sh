@@ -6,8 +6,11 @@
 #   scripts/ci.sh -fast      # skip the race detector and bench smoke
 #
 # Steps: gofmt -s, go vet, go build, mklint (the project's own static
-# analysis, see cmd/mklint), go test, go test -race, golden-figure diff
-# (Figures 1-5 vs results/golden/), bench smoke (one iteration of every
+# analysis, see cmd/mklint; its ratcheted depdag findings double as the
+# policy-layering gate), go test, go test -race, golden-figure diff
+# (Figures 1-5 vs results/golden/), policy smoke (the full-size DBP
+# k-sequence sweep diffed byte-for-byte against
+# results/golden/fig7_ksweep.csv), bench smoke (one iteration of every
 # benchmark + a reduced mkbench sweep emitting BENCH_ci.json), the perf
 # gate (BenchmarkSimulate* allocs/op, >15% fails, plus the
 # BenchmarkSimulateSweep* wall clock, >40% fails, both vs the committed
@@ -71,6 +74,14 @@ for fig in 1 2 3 4 5; do
   fi
 done
 [ "$status" = 0 ]
+
+step "policy smoke (DBP ksweep vs results/golden/fig7_ksweep.csv)"
+go run ./cmd/mkablate -ksweep -sets 25 -candidates 5000 -lo 0.2 -hi 1.0 -q \
+  > "$tmp/fig7_ksweep.csv"
+if ! diff -u results/golden/fig7_ksweep.csv "$tmp/fig7_ksweep.csv"; then
+  echo "fig7 ksweep regressed (regenerate the golden only if the change is intended)" >&2
+  exit 1
+fi
 
 if [ "$fast" = 0 ]; then
   step "bench smoke"
